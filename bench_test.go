@@ -1,0 +1,420 @@
+// Benchmarks regenerating the paper's evaluation artifacts. One benchmark
+// (or family) exists per table/figure plus the ablations DESIGN.md lists:
+//
+//	BenchmarkFig11_*       — Figure 11 rows (mesh A): SB vs IGP vs IGPR
+//	BenchmarkFig14_*       — Figure 14 rows (mesh B, -short skips)
+//	BenchmarkSpeedup_*     — §4 parallel-speedup claim (simulated CM-5)
+//	BenchmarkLPSize        — §4 LP-size independence claim
+//	BenchmarkSimplex_*     — ablation A1: dense vs bounded vs revised
+//	BenchmarkRefine_*      — ablation A2: LP refinement vs greedy KL/FM
+//	BenchmarkMultilevel    — ablation A3: multilevel (coarsened) IGP
+//	BenchmarkPhase_*       — per-phase costs (assign/layer/balance)
+//	BenchmarkMeshGen       — workload generation (Figures 10/12/13)
+package igp
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/balance"
+	"repro/internal/coarsen"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/layering"
+	"repro/internal/lp"
+	"repro/internal/mesh"
+	"repro/internal/parallel"
+	"repro/internal/partition"
+	"repro/internal/refine"
+	"repro/internal/spectral"
+)
+
+// fixtures are built once and shared read-only across benchmarks.
+type fixture struct {
+	seq  *mesh.Sequence
+	base *partition.Assignment
+}
+
+var (
+	fixA, fixB       *fixture
+	onceA, onceB     sync.Once
+	fixAErr, fixBErr error
+)
+
+func meshA(b *testing.B) *fixture {
+	b.Helper()
+	onceA.Do(func() {
+		seq, err := mesh.PaperSequenceA(1994)
+		if err != nil {
+			fixAErr = err
+			return
+		}
+		part, err := spectral.RSB(seq.Base, 32, spectral.Options{Seed: 1994})
+		if err != nil {
+			fixAErr = err
+			return
+		}
+		fixA = &fixture{seq: seq, base: &partition.Assignment{Part: part, P: 32}}
+	})
+	if fixAErr != nil {
+		b.Fatal(fixAErr)
+	}
+	return fixA
+}
+
+func meshB(b *testing.B) *fixture {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("mesh B (10k vertices) skipped in -short mode")
+	}
+	onceB.Do(func() {
+		seq, err := mesh.PaperSequenceB(1994)
+		if err != nil {
+			fixBErr = err
+			return
+		}
+		part, err := spectral.RSB(seq.Base, 32, spectral.Options{Seed: 1994})
+		if err != nil {
+			fixBErr = err
+			return
+		}
+		fixB = &fixture{seq: seq, base: &partition.Assignment{Part: part, P: 32}}
+	})
+	if fixBErr != nil {
+		b.Fatal(fixBErr)
+	}
+	return fixB
+}
+
+// --- Figure 11 (mesh A) ----------------------------------------------------
+
+func BenchmarkFig11_SB(b *testing.B) {
+	f := meshA(b)
+	g := f.seq.Steps[0].Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spectral.RSB(g, 32, spectral.Options{Seed: 1994}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchIGP(b *testing.B, g *graph.Graph, base *partition.Assignment, withRefine bool) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := base.Clone()
+		if _, err := core.Repartition(g, a, core.Options{Refine: withRefine}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11_IGP(b *testing.B) {
+	f := meshA(b)
+	benchIGP(b, f.seq.Steps[0].Graph, f.base, false)
+}
+
+func BenchmarkFig11_IGPR(b *testing.B) {
+	f := meshA(b)
+	benchIGP(b, f.seq.Steps[0].Graph, f.base, true)
+}
+
+// --- Figure 14 (mesh B) ----------------------------------------------------
+
+func BenchmarkFig14_SB(b *testing.B) {
+	f := meshB(b)
+	g := f.seq.Steps[0].Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spectral.RSB(g, 32, spectral.Options{Seed: 1994}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14_IGP(b *testing.B) {
+	f := meshB(b)
+	benchIGP(b, f.seq.Steps[0].Graph, f.base, false)
+}
+
+func BenchmarkFig14_IGPR(b *testing.B) {
+	f := meshB(b)
+	benchIGP(b, f.seq.Steps[0].Graph, f.base, true)
+}
+
+func BenchmarkFig14_IGP_BigRefinement(b *testing.B) {
+	f := meshB(b)
+	benchIGP(b, f.seq.Steps[3].Graph, f.base, false)
+}
+
+// --- §4 speedup claim (simulated CM-5) -------------------------------------
+
+func benchSpeedup(b *testing.B, ranks int) {
+	f := meshA(b)
+	g := f.seq.Steps[0].Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := comm.NewWorld(ranks, comm.CM5())
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := f.base.Clone()
+		res, err := parallel.Repartition(w, g, a, parallel.Options{Refine: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SimTime.Seconds(), "simsec/op")
+	}
+}
+
+func BenchmarkSpeedup_1rank(b *testing.B)  { benchSpeedup(b, 1) }
+func BenchmarkSpeedup_8ranks(b *testing.B) { benchSpeedup(b, 8) }
+func BenchmarkSpeedup_32ranks(b *testing.B) {
+	benchSpeedup(b, 32)
+}
+
+// --- §4 LP-size independence ------------------------------------------------
+
+func BenchmarkLPSize(b *testing.B) {
+	f := meshA(b)
+	g := f.seq.Steps[0].Graph
+	var vars, cons int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := f.base.Clone()
+		st, err := core.Repartition(g, a, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		vars, cons = st.MaxLPSize()
+	}
+	b.ReportMetric(float64(vars), "lpvars")
+	b.ReportMetric(float64(cons), "lpcons")
+}
+
+// --- Ablation A1: simplex variants ------------------------------------------
+
+// balanceLP builds a representative balance LP from mesh A's first step.
+func balanceLP(b *testing.B) *lp.Problem {
+	b.Helper()
+	f := meshA(b)
+	g := f.seq.Steps[0].Graph
+	a := f.base.Clone()
+	if _, _, err := core.Assign(g, a); err != nil {
+		b.Fatal(err)
+	}
+	lay, err := layering.Layer(g, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets := partition.Targets(g.NumVertices(), 32)
+	m, err := balance.Formulate(lay.Delta, a.Sizes(g), targets, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m.Prob
+}
+
+func benchSimplex(b *testing.B, s lp.Solver) {
+	prob := balanceLP(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := s.Solve(prob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != lp.Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}
+
+func BenchmarkSimplex_Dense(b *testing.B)   { benchSimplex(b, lp.Dense{}) }
+func BenchmarkSimplex_Bounded(b *testing.B) { benchSimplex(b, lp.Bounded{}) }
+func BenchmarkSimplex_Revised(b *testing.B) { benchSimplex(b, lp.Revised{}) }
+
+// --- Ablation A2/A4: refinement variants -------------------------------------
+
+// unrefined returns a balanced-but-unrefined assignment of mesh A step 1.
+func unrefined(b *testing.B) (*graph.Graph, *partition.Assignment) {
+	b.Helper()
+	f := meshA(b)
+	g := f.seq.Steps[0].Graph
+	a := f.base.Clone()
+	if _, err := core.Repartition(g, a, core.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	return g, a
+}
+
+func BenchmarkRefine_LP(b *testing.B) {
+	g, a0 := unrefined(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := a0.Clone()
+		st, err := refine.Refine(g, a, refine.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(st.CutAfter, "cut")
+	}
+}
+
+func BenchmarkRefine_Greedy(b *testing.B) {
+	g, a0 := unrefined(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := a0.Clone()
+		refine.Greedy(g, a, 0, 1)
+		b.ReportMetric(partition.Cut(g, a).TotalWeight, "cut")
+	}
+}
+
+// --- Ablation A3: multilevel IGP ---------------------------------------------
+
+func BenchmarkMultilevel(b *testing.B) {
+	f := meshA(b)
+	g := f.seq.Steps[0].Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := f.base.Clone()
+		st, err := coarsen.MultilevelRepartition(g, a, coarsen.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = st
+		b.ReportMetric(partition.Cut(g, a).TotalWeight, "cut")
+	}
+}
+
+// --- Per-phase costs ----------------------------------------------------------
+
+func BenchmarkPhase_Assign(b *testing.B) {
+	f := meshA(b)
+	g := f.seq.Steps[0].Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := f.base.Clone()
+		if _, _, err := core.Assign(g, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPhase_Layer(b *testing.B) {
+	f := meshA(b)
+	g := f.seq.Steps[0].Graph
+	a := f.base.Clone()
+	if _, _, err := core.Assign(g, a); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := layering.Layer(g, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPhase_BalanceLP(b *testing.B) {
+	prob := balanceLP(b)
+	s := lp.Bounded{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Workload generation (Figures 10/12/13) -----------------------------------
+
+func BenchmarkMeshGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := mesh.PaperSequenceA(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Scaling characteristics ---------------------------------------------------
+
+// benchLayerAt measures layering cost at a given mesh size (it is the
+// phase whose cost scales with |V|+|E|, unlike the LP).
+func benchLayerAt(b *testing.B, n int) {
+	seq, err := mesh.GenerateChained(n, []int{n / 50}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	part, err := spectral.RSB(seq.Base, 32, spectral.Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := &partition.Assignment{Part: part, P: 32}
+	g := seq.Steps[0].Graph
+	if _, _, err := core.Assign(g, a); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := layering.Layer(g, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLayer_1k(b *testing.B) { benchLayerAt(b, 1000) }
+func BenchmarkLayer_4k(b *testing.B) { benchLayerAt(b, 4000) }
+
+func BenchmarkRSB_1k(b *testing.B) {
+	seq, err := mesh.GenerateChained(1000, []int{10}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spectral.RSB(seq.Base, 32, spectral.Options{Seed: 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMeshInsert(b *testing.B) {
+	gen, err := mesh.NewGenerator(2000, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.RefineDisk(geom.Point{X: 0.5, Y: 0.5}, 0.25, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatched measures the paper's batched-addition fallback.
+func BenchmarkBatched(b *testing.B) {
+	f := meshA(b)
+	g := f.seq.Steps[3].Graph // largest chained step
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := f.base.Clone()
+		if _, err := core.RepartitionInBatches(g, a, core.Options{}, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGraphOps measures the mutable-graph primitives under churn.
+func BenchmarkGraphOps(b *testing.B) {
+	g := graph.Grid(50, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := g.AddVertex(1)
+		_ = g.AddEdge(v, graph.Vertex(i%2500), 1)
+		_ = g.RemoveVertex(v)
+	}
+}

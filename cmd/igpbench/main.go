@@ -1,0 +1,113 @@
+// Command igpbench regenerates the paper's evaluation tables and figures
+// on the DIME-substitute meshes.
+//
+// Usage:
+//
+//	igpbench -table fig11                 # Figure 11 (mesh A, P=32)
+//	igpbench -table fig14                 # Figure 14 (mesh B, P=32)
+//	igpbench -table speedup               # §4 speedup claim (15–20× at 32)
+//	igpbench -table lpsize                # §4 LP-size independence claim
+//	igpbench -table refine                # refinement-quality ablation
+//	igpbench -table all                   # everything
+//
+// Flags -p, -ranks, -seed, -solver and -skipsim adjust the experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/lp"
+	"repro/internal/mesh"
+)
+
+func main() {
+	table := flag.String("table", "fig11", "table to regenerate: fig11|fig14|speedup|lpsize|baselines|refine|all")
+	seed := flag.Int64("seed", 1994, "workload seed")
+	p := flag.Int("p", 32, "number of partitions")
+	ranks := flag.Int("ranks", 32, "simulated machine size")
+	solver := flag.String("solver", "bounded", "sequential simplex: dense|bounded|revised")
+	skipSim := flag.Bool("skipsim", false, "skip simulated parallel runs (no Time-p/Speedup)")
+	flag.Parse()
+
+	var s lp.Solver
+	switch *solver {
+	case "dense":
+		s = lp.Dense{}
+	case "bounded":
+		s = lp.Bounded{}
+	case "revised":
+		s = lp.Revised{}
+	default:
+		fmt.Fprintf(os.Stderr, "igpbench: unknown solver %q\n", *solver)
+		os.Exit(2)
+	}
+	cfg := bench.Config{Seed: *seed, P: *p, Ranks: *ranks, Solver: s, SkipSim: *skipSim}
+
+	run := func(name string) bool { return *table == name || *table == "all" }
+	ok := false
+	if run("fig11") {
+		ok = true
+		res, err := bench.Fig11(cfg)
+		exitOn(err)
+		fmt.Print(bench.Format(res))
+	}
+	if run("fig14") {
+		ok = true
+		res, err := bench.Fig14(cfg)
+		exitOn(err)
+		fmt.Print(bench.Format(res))
+	}
+	if run("speedup") {
+		ok = true
+		seq, err := mesh.PaperSequenceA(*seed)
+		exitOn(err)
+		pts, err := bench.SpeedupCurve(seq, cfg, []int{1, 2, 4, 8, 16, 32})
+		exitOn(err)
+		fmt.Print(bench.FormatSpeedup(pts, "IGPR on mesh A, first refinement"))
+		fmt.Println()
+	}
+	if run("lpsize") {
+		ok = true
+		rows, err := bench.LPSizeTable([]int{1071, 2142, 4284, 8568}, cfg)
+		exitOn(err)
+		fmt.Print(bench.FormatLPSize(rows, cfg.P))
+		fmt.Println()
+	}
+	if run("baselines") {
+		ok = true
+		seq, err := mesh.PaperSequenceA(*seed)
+		exitOn(err)
+		rows, err := bench.Baselines(seq, cfg)
+		exitOn(err)
+		fmt.Print(bench.FormatBaselines(rows, cfg.P))
+		fmt.Println()
+	}
+	if run("refine") {
+		ok = true
+		seq, err := mesh.PaperSequenceA(*seed)
+		exitOn(err)
+		q, err := bench.RefineComparison(seq, cfg)
+		exitOn(err)
+		fmt.Printf("Refinement ablation (mesh A, first refinement, P=%d)\n", cfg.P)
+		fmt.Printf("  %-28s %6s\n", "Method", "Cut")
+		fmt.Printf("  %-28s %6d\n", "SB from scratch", q.CutSB)
+		fmt.Printf("  %-28s %6d\n", "IGP (balance only)", q.CutIGP)
+		fmt.Printf("  %-28s %6d\n", "IGPR (LP refinement)", q.CutIGPR)
+		fmt.Printf("  %-28s %6d\n", "IGP + greedy (KL/FM-style)", q.CutGreedy)
+		fmt.Println()
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "igpbench: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "igpbench:", err)
+		os.Exit(1)
+	}
+}

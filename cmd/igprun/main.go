@@ -1,0 +1,92 @@
+// Command igprun partitions or incrementally repartitions a graph file.
+//
+// Partition from scratch with recursive spectral bisection:
+//
+//	igprun -in mesh.graph -p 32 -mode rsb -out parts.txt
+//
+// Incrementally repartition a grown graph, reusing a previous assignment:
+//
+//	igprun -in mesh2.graph -p 32 -mode igpr -prev parts.txt -out parts2.txt
+//
+// The assignment format is one "vertex partition" pair per line with an
+// optional "igp-assignment <order> <P>" header.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	igp "repro"
+)
+
+func main() {
+	in := flag.String("in", "", "input graph file (required)")
+	prev := flag.String("prev", "", "previous assignment file (required for igp/igpr)")
+	out := flag.String("out", "", "output assignment file (default stdout)")
+	p := flag.Int("p", 32, "number of partitions")
+	mode := flag.String("mode", "rsb", "rsb | igp | igpr")
+	seed := flag.Int64("seed", 1, "seed for spectral starts")
+	solver := flag.String("solver", "bounded", "simplex: dense|bounded|revised")
+	tol := flag.Int("tol", 0, "allowed per-partition deviation from the target size")
+	flag.Parse()
+
+	if *in == "" {
+		fail("missing -in")
+	}
+	f, err := os.Open(*in)
+	exitOn(err)
+	g, err := igp.ReadGraph(f)
+	f.Close()
+	exitOn(err)
+
+	var a *igp.Assignment
+	switch *mode {
+	case "rsb":
+		a, err = igp.PartitionRSB(g, *p, *seed)
+		exitOn(err)
+	case "igp", "igpr":
+		if *prev == "" {
+			fail("mode " + *mode + " requires -prev")
+		}
+		pf, err := os.Open(*prev)
+		exitOn(err)
+		a, err = igp.ReadAssignment(pf, g.Order(), *p)
+		pf.Close()
+		exitOn(err)
+		st, err := igp.Repartition(g, a, igp.Options{
+			Refine:    *mode == "igpr",
+			Solver:    igp.SolverName(*solver),
+			Tolerance: *tol,
+		})
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "igprun: %d new vertices, %d stages, %d moved, LP v=%d c=%d, %v\n",
+			st.NewAssigned, st.Stages, st.BalanceMoved+st.RefineMoved, st.LPVars, st.LPCons, st.Elapsed)
+	default:
+		fail("unknown mode " + *mode)
+	}
+
+	cut := igp.Cut(g, a)
+	fmt.Fprintf(os.Stderr, "igprun: |V|=%d |E|=%d P=%d cutset total=%d max=%.0f min=%.0f imbalance=%.3f\n",
+		g.NumVertices(), g.NumEdges(), *p, cut.Total, cut.Max, cut.Min, igp.Imbalance(g, a))
+
+	w := os.Stdout
+	if *out != "" {
+		w, err = os.Create(*out)
+		exitOn(err)
+		defer w.Close()
+	}
+	exitOn(igp.WriteAssignment(w, a))
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "igprun:", msg)
+	os.Exit(2)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "igprun:", err)
+		os.Exit(1)
+	}
+}

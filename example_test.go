@@ -1,0 +1,99 @@
+package igp_test
+
+import (
+	"fmt"
+
+	igp "repro"
+)
+
+// The basic lifecycle: build a graph, partition it, grow it, repartition
+// incrementally.
+func Example() {
+	// A 4x4 grid, partitioned into 2 halves by hand.
+	g := igp.NewGraphWithVertices(16)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			v := igp.Vertex(r*4 + c)
+			if c+1 < 4 {
+				_ = g.AddEdge(v, v+1, 1)
+			}
+			if r+1 < 4 {
+				_ = g.AddEdge(v, v+4, 1)
+			}
+		}
+	}
+	a := &igp.Assignment{Part: make([]int32, 16), P: 2}
+	for v := range a.Part {
+		if v%4 >= 2 {
+			a.Part[v] = 1
+		}
+	}
+	fmt.Println("cut:", igp.Cut(g, a).Total)
+
+	// Growth: four new vertices attach to corner 0 — partition 0 becomes
+	// overloaded.
+	for i := 0; i < 4; i++ {
+		v := g.AddVertex(1)
+		_ = g.AddEdge(v, 0, 1)
+	}
+	st, err := igp.Repartition(g, a, igp.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("new vertices assigned:", st.NewAssigned)
+	fmt.Println("balanced:", igp.Imbalance(g, a) == 1.0)
+	// Output:
+	// cut: 4
+	// new vertices assigned: 4
+	// balanced: true
+}
+
+// Repartitioning severe growth in batches bounds each stage's movement.
+func ExampleRepartitionInBatches() {
+	g := igp.NewGraphWithVertices(8)
+	for i := 0; i < 7; i++ {
+		_ = g.AddEdge(igp.Vertex(i), igp.Vertex(i+1), 1)
+	}
+	a := &igp.Assignment{Part: []int32{0, 0, 0, 0, 1, 1, 1, 1}, P: 2}
+	// Twelve new vertices, all chained to one end.
+	prev := igp.Vertex(0)
+	for i := 0; i < 12; i++ {
+		v := g.AddVertex(1)
+		_ = g.AddEdge(v, prev, 1)
+		prev = v
+	}
+	st, err := igp.RepartitionInBatches(g, a, igp.Options{}, 3)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("assigned:", st.NewAssigned)
+	fmt.Println("balanced:", igp.Imbalance(g, a) == 1.0)
+	// Output:
+	// assigned: 12
+	// balanced: true
+}
+
+// DescribeBalanceLP prints the Figure-5-style linear program.
+func ExampleDescribeBalanceLP() {
+	g := igp.NewGraphWithVertices(6)
+	for i := 0; i < 5; i++ {
+		_ = g.AddEdge(igp.Vertex(i), igp.Vertex(i+1), 1)
+	}
+	a := &igp.Assignment{Part: []int32{0, 0, 0, 0, 1, 1}, P: 2}
+	desc, err := igp.DescribeBalanceLP(g, a)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(desc)
+	// Output:
+	// minimize  Σ l(i,j)
+	// subject to
+	//   0 ≤ l(0,1) ≤ 4
+	//   0 ≤ l(1,0) ≤ 2
+	//   outflow(0) − inflow(0) = 1
+	//   outflow(1) − inflow(1) = -1
+	// dense form: v = 6 variables, c = 4 constraints
+}

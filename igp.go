@@ -1,0 +1,329 @@
+// Package igp is an open-source reproduction of Ou & Ranka, "Parallel
+// Incremental Graph Partitioning Using Linear Programming"
+// (Supercomputing '94).
+//
+// It provides:
+//
+//   - a mutable undirected graph type supporting the paper's incremental
+//     edit model (vertices/edges added and deleted between phases);
+//   - Recursive Spectral Bisection (RSB) for from-scratch partitioning —
+//     the paper's baseline and initial-partition source;
+//   - the four-phase Incremental Graph Partitioner: nearest-partition
+//     assignment of new vertices, boundary layering, minimal-movement
+//     load balancing by linear programming, and LP-based cut refinement
+//     (the paper's IGP and IGPR variants);
+//   - three simplex implementations (dense tableau as in the paper,
+//     bounded-variable, and sparse revised) plus a column-distributed
+//     parallel simplex;
+//   - a message-passing machine simulator calibrated to a 32-node CM-5,
+//     with an SPMD parallel implementation of the whole pipeline; and
+//   - DIME-style adaptive triangular mesh generation (incremental
+//     Delaunay with localized refinement) reproducing the paper's two
+//     experimental mesh families.
+//
+// Quick start:
+//
+//	g := igp.NewMeshGraph(1000, 42)      // or build a Graph by hand
+//	a, _ := igp.PartitionRSB(g, 32, 42)  // initial partition
+//	// ... the application refines its mesh: g gains vertices/edges ...
+//	stats, _ := igp.Repartition(g, a, igp.Options{Refine: true})
+//	fmt.Println(igp.Cut(g, a).Total, stats.BalanceMoved)
+package igp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/balance"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/layering"
+	"repro/internal/lp"
+	"repro/internal/mesh"
+	"repro/internal/parallel"
+	"repro/internal/partition"
+	"repro/internal/refine"
+	"repro/internal/spectral"
+)
+
+// Graph is the mutable undirected weighted graph all partitioning
+// operates on. See NewGraph; the zero value is also ready to use.
+type Graph = graph.Graph
+
+// Vertex identifies a graph vertex.
+type Vertex = graph.Vertex
+
+// Assignment maps vertices to partitions.
+type Assignment = partition.Assignment
+
+// CutStats reports cutset quality (the paper's Total/Max/Min columns).
+type CutStats = partition.CutStats
+
+// Unassigned marks vertices without a partition.
+const Unassigned = partition.Unassigned
+
+// NewGraph returns an empty graph with capacity for n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NewGraphWithVertices returns a graph with n unit-weight vertices.
+func NewGraphWithVertices(n int) *Graph { return graph.NewWithVertices(n) }
+
+// ReadGraph decodes a graph from the textual format written by WriteGraph.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// WriteGraph encodes g in a deterministic text format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+
+// ReadAssignment decodes a partition assignment ("vertex partition" lines
+// with an optional header). order and p supply the dimensions for
+// headerless files; the header overrides them.
+func ReadAssignment(r io.Reader, order, p int) (*Assignment, error) {
+	return partition.ReadAssignment(r, order, p)
+}
+
+// WriteAssignment encodes a partition assignment.
+func WriteAssignment(w io.Writer, a *Assignment) error {
+	return partition.WriteAssignment(w, a)
+}
+
+// NewMeshGraph builds the node-adjacency graph of a fresh ~n-vertex
+// unstructured triangular mesh (a DIME-style workload), deterministic in
+// seed.
+func NewMeshGraph(n int, seed int64) (*Graph, error) {
+	gen, err := mesh.NewGenerator(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return gen.Mesh().Graph(), nil
+}
+
+// MeshSequence is a base mesh graph plus incremental refinements — the
+// workload family of the paper's experiments. Step graphs preserve vertex
+// identities, so they can be fed directly to Repartition.
+type MeshSequence = mesh.Sequence
+
+// PaperMeshA generates the paper's first experimental family: a
+// ~1071-vertex mesh chained through four localized refinements
+// (+25, +25, +31, +40 vertices).
+func PaperMeshA(seed int64) (*MeshSequence, error) { return mesh.PaperSequenceA(seed) }
+
+// PaperMeshB generates the paper's second family: a ~10166-vertex mesh
+// with four independent refinements (+48, +139, +229, +672 vertices).
+func PaperMeshB(seed int64) (*MeshSequence, error) { return mesh.PaperSequenceB(seed) }
+
+// GenerateMeshSequence builds a custom chained refinement sequence: a
+// ~baseN-vertex mesh refined by growth[i] vertices at step i in a
+// drifting localized hotspot.
+func GenerateMeshSequence(baseN int, growth []int, seed int64) (*MeshSequence, error) {
+	return mesh.GenerateChained(baseN, growth, seed)
+}
+
+// PartitionRSB partitions g into p parts from scratch with recursive
+// spectral bisection.
+func PartitionRSB(g *Graph, p int, seed int64) (*Assignment, error) {
+	part, err := spectral.RSB(g, p, spectral.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Assignment{Part: part, P: p}, nil
+}
+
+// SolverName selects a simplex implementation.
+type SolverName string
+
+// Available simplex implementations.
+const (
+	SolverDense   SolverName = "dense"   // the paper's dense tableau
+	SolverBounded SolverName = "bounded" // implicit variable bounds (default)
+	SolverRevised SolverName = "revised" // sparse revised simplex
+)
+
+func (s SolverName) solver() (lp.Solver, error) {
+	switch s {
+	case SolverDense:
+		return lp.Dense{}, nil
+	case SolverBounded, "":
+		return lp.Bounded{}, nil
+	case SolverRevised:
+		return lp.Revised{}, nil
+	}
+	return nil, fmt.Errorf("igp: unknown solver %q", s)
+}
+
+// Options configures Repartition.
+type Options struct {
+	// Refine enables the cut-refinement phase (the paper's IGPR).
+	Refine bool
+	// Solver picks the simplex implementation (default bounded).
+	Solver SolverName
+	// EpsilonMax bounds the balance relaxation factor ε (default 8).
+	EpsilonMax float64
+	// MaxStages caps multi-stage balancing (default 16).
+	MaxStages int
+	// RefineRounds caps refinement LP rounds (default 8).
+	RefineRounds int
+	// Tolerance allows partition sizes to deviate from their ideal targets
+	// by up to this many vertices (default 0 = the paper's exact balance).
+	// Positive values trade residual imbalance for less vertex movement.
+	Tolerance int
+}
+
+// Stats reports what Repartition did.
+type Stats struct {
+	// NewAssigned is the number of new vertices placed in phase 1.
+	NewAssigned int
+	// Stages is the number of balancing stages used (the paper's IGP(k)).
+	Stages int
+	// EpsilonUsed lists the relaxation factor of each stage.
+	EpsilonUsed []float64
+	// BalanceMoved counts vertices moved for load balance.
+	BalanceMoved int
+	// RefineMoved counts vertices moved by refinement.
+	RefineMoved int
+	// LPVars and LPCons are the dense-formulation dimensions of the
+	// largest balance LP (the paper's v and c).
+	LPVars, LPCons int
+	// CutBefore and CutAfter report cutset quality around balancing and
+	// refinement.
+	CutBefore, CutAfter CutStats
+	// Elapsed is total wall-clock time.
+	Elapsed time.Duration
+}
+
+// ErrNeedRepartition is returned when incremental balancing cannot
+// succeed (the paper's advice: repartition from scratch, or add the new
+// vertices in batches).
+var ErrNeedRepartition = core.ErrNeedRepartition
+
+// Repartition incrementally updates assignment a to cover graph g:
+// vertices beyond a's coverage (or explicitly Unassigned) are treated as
+// new. On success the partition sizes are balanced within Tolerance and a
+// is updated in place.
+func Repartition(g *Graph, a *Assignment, opt Options) (*Stats, error) {
+	return repartition(g, a, opt, 1)
+}
+
+// RepartitionInBatches reveals the new vertices in the given number of
+// groups (ordered by distance from the old region) and repartitions after
+// each — the paper's §2.3 fallback for incremental changes too severe for
+// a single correction ("solve the problem by adding only a fraction of
+// the nodes at a given time"). batches = 1 is identical to Repartition.
+func RepartitionInBatches(g *Graph, a *Assignment, opt Options, batches int) (*Stats, error) {
+	return repartition(g, a, opt, batches)
+}
+
+func repartition(g *Graph, a *Assignment, opt Options, batches int) (*Stats, error) {
+	solver, err := opt.Solver.solver()
+	if err != nil {
+		return nil, err
+	}
+	copt := core.Options{
+		Solver:     solver,
+		EpsilonMax: opt.EpsilonMax,
+		MaxStages:  opt.MaxStages,
+		Tolerance:  opt.Tolerance,
+		Refine:     opt.Refine,
+		RefineOptions: refine.Options{
+			MaxRounds: opt.RefineRounds,
+			Solver:    solver,
+		},
+	}
+	t0 := time.Now()
+	var st *core.Stats
+	if batches == 1 {
+		st, err = core.Repartition(g, a, copt)
+	} else {
+		st, err = core.RepartitionInBatches(g, a, copt, batches)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &Stats{
+		NewAssigned:  st.NewAssigned,
+		Stages:       len(st.Stages),
+		BalanceMoved: st.BalanceMoved,
+		CutBefore:    st.CutBefore,
+		CutAfter:     st.CutAfter,
+		Elapsed:      time.Since(t0),
+	}
+	for _, sg := range st.Stages {
+		out.EpsilonUsed = append(out.EpsilonUsed, sg.Epsilon)
+	}
+	out.LPVars, out.LPCons = st.MaxLPSize()
+	if st.Refine != nil {
+		out.RefineMoved = st.Refine.Moved
+	}
+	return out, nil
+}
+
+// Cut computes cutset statistics for a on g.
+func Cut(g *Graph, a *Assignment) CutStats { return partition.Cut(g, a) }
+
+// Imbalance returns max/mean partition weight (1.0 = perfectly balanced).
+func Imbalance(g *Graph, a *Assignment) float64 { return partition.Imbalance(g, a) }
+
+// ParallelResult reports a simulated distributed run.
+type ParallelResult struct {
+	// SimTime is the simulated makespan on the CM-5-calibrated machine.
+	SimTime time.Duration
+	// Messages and Bytes count point-to-point traffic.
+	Messages, Bytes int64
+	// Stages is the number of balancing stages used.
+	Stages int
+}
+
+// SimulateParallelRepartition runs the SPMD message-passing implementation
+// of the repartitioner on a simulated CM-5-like machine with the given
+// number of ranks, updating a in place (the parallel and sequential
+// results are equally balanced; tie-breaking may differ). The returned
+// SimTime is the simulated parallel makespan — run with ranks=1 to obtain
+// the simulated sequential time and divide for speedup.
+func SimulateParallelRepartition(g *Graph, a *Assignment, ranks int, opt Options) (*ParallelResult, error) {
+	w, err := comm.NewWorld(ranks, comm.CM5())
+	if err != nil {
+		return nil, err
+	}
+	res, err := parallel.Repartition(w, g, a, parallel.Options{
+		EpsilonMax: opt.EpsilonMax,
+		MaxStages:  opt.MaxStages,
+		Refine:     opt.Refine,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ParallelResult{
+		SimTime:  res.SimTime,
+		Messages: res.Messages,
+		Bytes:    res.Bytes,
+		Stages:   res.Stages,
+	}, nil
+}
+
+// DescribeBalanceLP formats the load-balancing linear program the next
+// Repartition call would solve for (g, a) — the paper's Figure 5 view:
+// movability bounds δ(i,j) and per-partition flow-balance equalities.
+func DescribeBalanceLP(g *Graph, a *Assignment) (string, error) {
+	lay, err := layering.Layer(g, a)
+	if err != nil {
+		return "", err
+	}
+	sizes := a.Sizes(g)
+	targets := partition.Targets(g.NumVertices(), a.P)
+	m, err := balance.Formulate(lay.Delta, sizes, targets, 1)
+	if err != nil {
+		return "", err
+	}
+	var b []byte
+	b = append(b, "minimize  Σ l(i,j)\nsubject to\n"...)
+	for v, pr := range m.Pairs {
+		b = append(b, fmt.Sprintf("  0 ≤ l(%d,%d) ≤ %g\n", pr[0], pr[1], m.Prob.Upper[v])...)
+	}
+	for j, rhs := range m.RHS {
+		b = append(b, fmt.Sprintf("  outflow(%d) − inflow(%d) = %d\n", j, j, rhs)...)
+	}
+	vars, cons := lp.DenseSize(m.Prob)
+	b = append(b, fmt.Sprintf("dense form: v = %d variables, c = %d constraints\n", vars, cons)...)
+	return string(b), nil
+}

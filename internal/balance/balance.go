@@ -1,0 +1,238 @@
+// Package balance implements the paper's Step 3: the load-balancing linear
+// program. Given the layering's δ(i,j) movability bounds and the current
+// partition sizes, it formulates
+//
+//	minimize   Σ l(i,j)
+//	subject to 0 ≤ l(i,j) ≤ δ(i,j)
+//	           outflow(j) − inflow(j) = surplus(j)      for every j
+//
+// solves it with a pluggable simplex, and realizes the integral flows by
+// moving the boundary-closest vertices from each pool. When the full
+// correction is infeasible the right-hand side is divided by a relaxation
+// factor ε > 1 (the paper's multi-stage mechanism, §2.3).
+package balance
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/layering"
+	"repro/internal/lp"
+	"repro/internal/partition"
+)
+
+// Flow is a planned movement of Amount vertices from partition From to To.
+type Flow struct {
+	From, To int32
+	Amount   int
+}
+
+// Model is a formulated balance LP plus the variable ↔ pair mapping.
+type Model struct {
+	Prob  *lp.Problem
+	Pairs [][2]int32 // Pairs[v] = (i,j) for LP variable v
+	// RHS is the per-partition net outflow requirement actually used
+	// (after ε division and zero-sum repair).
+	RHS []int
+}
+
+// Surpluses returns sizes[j] − targets[j] for each partition.
+func Surpluses(sizes, targets []int) []int {
+	out := make([]int, len(sizes))
+	for j := range sizes {
+		out[j] = sizes[j] - targets[j]
+	}
+	return out
+}
+
+// relaxedRHS divides each surplus by eps, truncating toward zero, then
+// repairs the result to sum to zero (an LP over flow-conservation
+// equalities is trivially infeasible otherwise).
+func relaxedRHS(surplus []int, eps float64) []int {
+	rhs := make([]int, len(surplus))
+	if eps < 1 {
+		eps = 1
+	}
+	sum := 0
+	for j, s := range surplus {
+		rhs[j] = int(math.Trunc(float64(s) / eps))
+		sum += rhs[j]
+	}
+	for sum != 0 {
+		// Move the entry whose rounded value drifted furthest from s/eps in
+		// the direction that shrinks the sum.
+		best, bestDrift := -1, math.Inf(-1)
+		for j, s := range surplus {
+			exact := float64(s) / eps
+			var drift float64
+			if sum > 0 {
+				drift = float64(rhs[j]) - exact // positive drift: safe to decrement
+			} else {
+				drift = exact - float64(rhs[j])
+			}
+			if drift > bestDrift {
+				bestDrift, best = drift, j
+			}
+		}
+		if sum > 0 {
+			rhs[best]--
+			sum--
+		} else {
+			rhs[best]++
+			sum++
+		}
+	}
+	return rhs
+}
+
+// Formulate builds the balance LP for the given layering δ, partition
+// sizes and targets, with relaxation ε ≥ 1 (1 = full single-stage
+// correction) and exact per-partition equality (the paper's constraint 12).
+func Formulate(delta [][]int, sizes, targets []int, eps float64) (*Model, error) {
+	return FormulateTol(delta, sizes, targets, eps, 0)
+}
+
+// FormulateTol generalizes Formulate with a balance tolerance: each
+// partition's net outflow may deviate from its surplus by up to slack
+// vertices, turning the equality into a pair of inequalities. slack = 0
+// reproduces the paper exactly; slack > 0 (a ParMETIS-style imbalance
+// allowance) trades residual imbalance for less vertex movement.
+func FormulateTol(delta [][]int, sizes, targets []int, eps float64, slack int) (*Model, error) {
+	p := len(delta)
+	if len(sizes) != p || len(targets) != p {
+		return nil, fmt.Errorf("balance: dimension mismatch: δ is %d×, sizes %d, targets %d", p, len(sizes), len(targets))
+	}
+	if slack < 0 {
+		return nil, fmt.Errorf("balance: negative slack %d", slack)
+	}
+	rhs := relaxedRHS(Surpluses(sizes, targets), eps)
+
+	var pairs [][2]int32
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i != j && delta[i][j] > 0 {
+				pairs = append(pairs, [2]int32{int32(i), int32(j)})
+			}
+		}
+	}
+	prob := lp.NewProblem(lp.Minimize, len(pairs))
+	prob.Names = make([]string, len(pairs))
+	for v, pr := range pairs {
+		prob.SetObjective(v, 1)
+		prob.SetUpper(v, float64(delta[pr[0]][pr[1]]))
+		prob.Names[v] = fmt.Sprintf("l(%d,%d)", pr[0], pr[1])
+	}
+	for j := 0; j < p; j++ {
+		var terms []lp.Term
+		for v, pr := range pairs {
+			if int(pr[0]) == j {
+				terms = append(terms, lp.Term{Var: v, Coef: 1})
+			}
+			if int(pr[1]) == j {
+				terms = append(terms, lp.Term{Var: v, Coef: -1})
+			}
+		}
+		if len(terms) == 0 {
+			if rhs[j] == 0 || abs(rhs[j]) <= slack {
+				continue
+			}
+			// No movable vertex touches partition j but it must change
+			// size: encode the contradiction so the solver reports
+			// infeasibility (the driver will then relax or re-stage).
+			terms = []lp.Term{}
+		}
+		if slack == 0 {
+			prob.AddConstraint(terms, lp.EQ, float64(rhs[j]))
+		} else {
+			prob.AddConstraint(terms, lp.GE, float64(rhs[j]-slack))
+			prob.AddConstraint(terms, lp.LE, float64(rhs[j]+slack))
+		}
+	}
+	return &Model{Prob: prob, Pairs: pairs, RHS: rhs}, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Flows converts an optimal LP solution into integral flows, rejecting
+// non-integral values (which the totally unimodular formulation rules out
+// up to numerical noise).
+func (m *Model) Flows(sol *lp.Solution) ([]Flow, error) {
+	flows := make([]Flow, 0, len(m.Pairs))
+	for v, x := range sol.X {
+		r := math.Round(x)
+		if math.Abs(x-r) > 1e-6 {
+			return nil, fmt.Errorf("balance: non-integral flow l(%d,%d) = %g", m.Pairs[v][0], m.Pairs[v][1], x)
+		}
+		if r > 0 {
+			flows = append(flows, Flow{From: m.Pairs[v][0], To: m.Pairs[v][1], Amount: int(r)})
+		}
+	}
+	return flows, nil
+}
+
+// Solve runs the solver and converts the LP solution to integral flows.
+// Status is passed through: callers must check it before using the flows.
+func Solve(m *Model, solver lp.Solver) ([]Flow, *lp.Solution, error) {
+	sol, err := solver.Solve(m.Prob)
+	if err != nil {
+		return nil, nil, fmt.Errorf("balance: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, sol, nil
+	}
+	flows, err := m.Flows(sol)
+	if err != nil {
+		return nil, sol, err
+	}
+	return flows, sol, nil
+}
+
+// Apply moves vertices to realize the flows, consuming each (i,j) pool
+// boundary-first, and returns the number of vertices moved. The
+// assignment is modified in place.
+func Apply(a *partition.Assignment, lay *layering.Result, flows []Flow) (int, error) {
+	moved := 0
+	for _, f := range flows {
+		pool := lay.Pool(f.From, f.To)
+		if f.Amount > len(pool) {
+			return moved, fmt.Errorf("balance: flow %d→%d wants %d vertices, pool has %d",
+				f.From, f.To, f.Amount, len(pool))
+		}
+		for _, v := range pool[:f.Amount] {
+			if a.Part[v] != f.From {
+				return moved, fmt.Errorf("balance: vertex %d no longer in partition %d", v, f.From)
+			}
+			a.Part[v] = f.To
+			moved++
+		}
+	}
+	return moved, nil
+}
+
+// Step runs one complete balancing stage (formulate → solve → apply) with
+// the given ε. It reports the flows applied and the LP solution; when the
+// LP is infeasible it returns ok=false with nothing applied.
+func Step(g *graph.Graph, a *partition.Assignment, lay *layering.Result, targets []int, eps float64, solver lp.Solver) (flows []Flow, sol *lp.Solution, ok bool, err error) {
+	sizes := a.Sizes(g)
+	m, err := Formulate(lay.Delta, sizes, targets, eps)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	flows, sol, err = Solve(m, solver)
+	if err != nil {
+		return nil, sol, false, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, sol, false, nil
+	}
+	if _, err := Apply(a, lay, flows); err != nil {
+		return flows, sol, false, err
+	}
+	return flows, sol, true, nil
+}

@@ -1,0 +1,383 @@
+package balance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/layering"
+	"repro/internal/lp"
+	"repro/internal/partition"
+)
+
+func TestRelaxedRHSExact(t *testing.T) {
+	rhs := relaxedRHS([]int{8, 1, -1, -8}, 1)
+	want := []int{8, 1, -1, -8}
+	for i := range want {
+		if rhs[i] != want[i] {
+			t.Fatalf("rhs = %v, want %v", rhs, want)
+		}
+	}
+}
+
+func TestRelaxedRHSZeroSum(t *testing.T) {
+	for _, eps := range []float64{1, 2, 3, 7} {
+		rhs := relaxedRHS([]int{9, 4, -5, -8}, eps)
+		sum := 0
+		for _, x := range rhs {
+			sum += x
+		}
+		if sum != 0 {
+			t.Fatalf("eps=%g: rhs %v sums to %d", eps, rhs, sum)
+		}
+	}
+}
+
+func TestPropertyRelaxedRHS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 2 + rng.Intn(8)
+		surplus := make([]int, p)
+		for k := 0; k < p-1; k++ {
+			surplus[k] = rng.Intn(21) - 10
+			surplus[p-1] -= surplus[k]
+		}
+		eps := 1 + float64(rng.Intn(4))
+		rhs := relaxedRHS(surplus, eps)
+		sum := 0
+		for j, x := range rhs {
+			sum += x
+			// |rhs| must not exceed |surplus| and direction must agree
+			// (zero-sum repair may add at most one unit of drift).
+			if surplus[j] == 0 && x != 0 && x != 1 && x != -1 {
+				return false
+			}
+		}
+		return sum == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// unbalancedStripes builds a 4×12 grid with a deliberately skewed 3-way
+// striping: partition 0 gets 6 columns, partitions 1 and 2 get 3 each.
+func unbalancedStripes() (*graph.Graph, *partition.Assignment) {
+	g := graph.Grid(4, 12)
+	a := partition.New(g.Order(), 3)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 12; c++ {
+			var q int32
+			switch {
+			case c < 6:
+				q = 0
+			case c < 9:
+				q = 1
+			default:
+				q = 2
+			}
+			a.Part[r*12+c] = q
+		}
+	}
+	return g, a
+}
+
+func TestFormulateShape(t *testing.T) {
+	g, a := unbalancedStripes()
+	lay, err := layering.Layer(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := a.Sizes(g)
+	targets := partition.Targets(g.NumVertices(), 3)
+	m, err := Formulate(lay.Delta, sizes, targets, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stripes: only adjacent pairs (0,1),(1,0),(1,2),(2,1) have δ>0.
+	if len(m.Pairs) != 4 {
+		t.Fatalf("pairs = %v, want 4 pairs", m.Pairs)
+	}
+	if err := m.Prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepBalancesStripes(t *testing.T) {
+	for _, solver := range []lp.Solver{lp.Dense{}, lp.Bounded{}, lp.Revised{}} {
+		g, a := unbalancedStripes()
+		lay, err := layering.Layer(g, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets := partition.Targets(g.NumVertices(), 3)
+		flows, sol, ok, err := Step(g, a, lay, targets, 1, solver)
+		if err != nil {
+			t.Fatalf("%s: %v", solver.Name(), err)
+		}
+		if !ok {
+			t.Fatalf("%s: LP infeasible, status %v", solver.Name(), sol.Status)
+		}
+		sizes := a.Sizes(g)
+		if !partition.Balanced(sizes) {
+			t.Fatalf("%s: sizes %v not balanced after step", solver.Name(), sizes)
+		}
+		// Minimal total movement: partition 0 (24 vertices, target 16) can
+		// only reach partition 1, and partition 2's deficit of 4 must be
+		// forwarded through 1, so the optimum is l(0,1)=8 plus l(1,2)=4.
+		total := 0
+		for _, f := range flows {
+			total += f.Amount
+		}
+		if total != 12 {
+			t.Fatalf("%s: moved %d vertices, want 12 (minimum)", solver.Name(), total)
+		}
+		if err := a.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStepMovesBoundaryFirst(t *testing.T) {
+	g, a := unbalancedStripes()
+	lay, err := layering.Layer(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := a.Clone()
+	targets := partition.Targets(g.NumVertices(), 3)
+	_, _, ok, err := Step(g, a, lay, targets, 1, lp.Bounded{})
+	if err != nil || !ok {
+		t.Fatalf("step failed: %v ok=%v", err, ok)
+	}
+	// Every vertex that moved from 0 to 1 must have been on 0's boundary
+	// layers nearest to 1 — i.e. no moved vertex has a smaller-level
+	// unmoved vertex in the same pool.
+	pool := lay.Pool(0, 1)
+	movedSet := map[graph.Vertex]bool{}
+	for _, v := range pool {
+		if before.Part[v] == 0 && a.Part[v] == 1 {
+			movedSet[v] = true
+		}
+	}
+	seenUnmoved := false
+	for _, v := range pool {
+		if movedSet[v] && seenUnmoved {
+			t.Fatal("mover skipped a nearer-boundary vertex")
+		}
+		if !movedSet[v] {
+			seenUnmoved = true
+		}
+	}
+}
+
+func TestStepInfeasibleWithoutAdjacency(t *testing.T) {
+	// Two disconnected cliques with wildly different sizes: no δ between
+	// them, so balancing is impossible and the LP must be infeasible.
+	g := graph.NewWithVertices(8)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			_ = g.AddEdge(graph.Vertex(i), graph.Vertex(j), 1)
+		}
+	}
+	_ = g.AddEdge(6, 7, 1)
+	a := partition.New(8, 2)
+	a.Part = []int32{0, 0, 0, 0, 0, 0, 1, 1}
+	lay, err := layering.Layer(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := partition.Targets(8, 2)
+	_, sol, ok, err := Step(g, a, lay, targets, 1, lp.Bounded{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("expected infeasible")
+	}
+	if sol.Status != lp.Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestApplyPoolExhaustion(t *testing.T) {
+	g, a := unbalancedStripes()
+	lay, err := layering.Layer(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Apply(a, lay, []Flow{{From: 0, To: 1, Amount: 10000}})
+	if err == nil {
+		t.Fatal("over-large flow must error")
+	}
+}
+
+func TestEpsilonReducesMovement(t *testing.T) {
+	g, a := unbalancedStripes()
+	lay, err := layering.Layer(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := partition.Targets(g.NumVertices(), 3)
+	sizes := a.Sizes(g)
+	m1, err := Formulate(lay.Delta, sizes, targets, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Formulate(lay.Delta, sizes, targets, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, s1, err := Solve(m1, lp.Bounded{})
+	if err != nil || s1.Status != lp.Optimal {
+		t.Fatalf("eps=1: %v %v", err, s1.Status)
+	}
+	f2, s2, err := Solve(m2, lp.Bounded{})
+	if err != nil || s2.Status != lp.Optimal {
+		t.Fatalf("eps=2: %v %v", err, s2.Status)
+	}
+	tot := func(fs []Flow) int {
+		n := 0
+		for _, f := range fs {
+			n += f.Amount
+		}
+		return n
+	}
+	if tot(f2) >= tot(f1) {
+		t.Fatalf("eps=2 moved %d, eps=1 moved %d; relaxation should move less", tot(f2), tot(f1))
+	}
+}
+
+func TestPropertyStepNeverWorsensBalance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 3+rng.Intn(3), 8+rng.Intn(8)
+		g := graph.Grid(rows, cols)
+		p := 2 + rng.Intn(3)
+		a := partition.New(g.Order(), p)
+		// Random contiguous column split.
+		cuts := make([]int, p-1)
+		for i := range cuts {
+			cuts[i] = 1 + rng.Intn(cols-1)
+		}
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				q := 0
+				for _, cut := range cuts {
+					if c >= cut {
+						q++
+					}
+				}
+				if q >= p {
+					q = p - 1
+				}
+				a.Part[r*cols+c] = int32(q)
+			}
+		}
+		lay, err := layering.Layer(g, a)
+		if err != nil {
+			return false
+		}
+		targets := partition.Targets(g.NumVertices(), p)
+		imbBefore := maxDev(a.Sizes(g), targets)
+		_, _, ok, err := Step(g, a, lay, targets, 1, lp.Bounded{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if !ok {
+			return true // infeasible is acceptable; nothing applied
+		}
+		imbAfter := maxDev(a.Sizes(g), targets)
+		return imbAfter <= imbBefore && a.Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func maxDev(sizes, targets []int) int {
+	d := 0
+	for i := range sizes {
+		dev := sizes[i] - targets[i]
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > d {
+			d = dev
+		}
+	}
+	return d
+}
+
+func TestFormulateTolReducesMovement(t *testing.T) {
+	g, a := unbalancedStripes()
+	lay, err := layering.Layer(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := partition.Targets(g.NumVertices(), 3)
+	sizes := a.Sizes(g)
+	exact, err := Formulate(lay.Delta, sizes, targets, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := FormulateTol(lay.Delta, sizes, targets, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, se, err := Solve(exact, lp.Bounded{})
+	if err != nil || se.Status != lp.Optimal {
+		t.Fatalf("exact: %v %v", err, se)
+	}
+	fl, sl, err := Solve(loose, lp.Bounded{})
+	if err != nil || sl.Status != lp.Optimal {
+		t.Fatalf("loose: %v %v", err, sl)
+	}
+	tot := func(fs []Flow) int {
+		n := 0
+		for _, f := range fs {
+			n += f.Amount
+		}
+		return n
+	}
+	if tot(fl) >= tot(fe) {
+		t.Fatalf("slack moved %d, exact moved %d; tolerance should move less", tot(fl), tot(fe))
+	}
+}
+
+func TestFormulateTolRejectsNegative(t *testing.T) {
+	if _, err := FormulateTol([][]int{{0}}, []int{1}, []int{1}, 1, -1); err == nil {
+		t.Fatal("negative slack must error")
+	}
+}
+
+func TestFormulateTolSlackSatisfiesBand(t *testing.T) {
+	// After applying a slack-2 solution, every partition is within 2 of
+	// its target.
+	g, a := unbalancedStripes()
+	lay, err := layering.Layer(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := partition.Targets(g.NumVertices(), 3)
+	m, err := FormulateTol(lay.Delta, a.Sizes(g), targets, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, sol, err := Solve(m, lp.Bounded{})
+	if err != nil || sol.Status != lp.Optimal {
+		t.Fatalf("%v %v", err, sol)
+	}
+	if _, err := Apply(a, lay, flows); err != nil {
+		t.Fatal(err)
+	}
+	sizes := a.Sizes(g)
+	for q := range sizes {
+		dev := sizes[q] - targets[q]
+		if dev < -2 || dev > 2 {
+			t.Fatalf("partition %d deviates by %d (> slack)", q, dev)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package baseline implements two of the classical from-scratch
+// partitioning heuristics the paper's introduction surveys alongside
+// spectral bisection: recursive coordinate bisection (RCB) and recursive
+// graph bisection (RGB). They serve as additional quality baselines for
+// the evaluation harness (ablation A4 in DESIGN.md) — and RCB is the
+// method the paper contrasts itself against when it argues for
+// techniques that do not need vertex coordinates.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// RCB partitions vertices into p parts by recursive coordinate bisection:
+// at each level the current vertex set is split at the weighted median of
+// its wider coordinate axis. Requires a coordinate per vertex slot.
+func RCB(g *graph.Graph, pts [][2]float64, p int) ([]int32, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("baseline: rcb: p=%d", p)
+	}
+	if len(pts) < g.Order() {
+		return nil, fmt.Errorf("baseline: rcb: %d points for %d vertices", len(pts), g.Order())
+	}
+	if g.NumVertices() < p {
+		return nil, fmt.Errorf("baseline: rcb: %d vertices into %d parts", g.NumVertices(), p)
+	}
+	part := make([]int32, g.Order())
+	for i := range part {
+		part[i] = -1
+	}
+	rcbRec(g, pts, g.Vertices(), p, 0, part)
+	return part, nil
+}
+
+func rcbRec(g *graph.Graph, pts [][2]float64, vs []graph.Vertex, p int, base int32, part []int32) {
+	if p == 1 {
+		for _, v := range vs {
+			part[v] = base
+		}
+		return
+	}
+	// Choose the wider axis.
+	minX, maxX := pts[vs[0]][0], pts[vs[0]][0]
+	minY, maxY := pts[vs[0]][1], pts[vs[0]][1]
+	for _, v := range vs {
+		x, y := pts[v][0], pts[v][1]
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	axis := 0
+	if maxY-minY > maxX-minX {
+		axis = 1
+	}
+	sorted := append([]graph.Vertex(nil), vs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := pts[sorted[i]][axis], pts[sorted[j]][axis]
+		if a != b {
+			return a < b
+		}
+		return sorted[i] < sorted[j]
+	})
+	pa := (p + 1) / 2
+	pb := p - pa
+	cut := splitIndex(g, sorted, float64(pa)/float64(p))
+	rcbRec(g, pts, sorted[:cut], pa, base, part)
+	rcbRec(g, pts, sorted[cut:], pb, base+int32(pa), part)
+}
+
+// RGB partitions by recursive graph bisection: BFS levels from a
+// pseudo-peripheral vertex order the vertices; the ordered list is split
+// at the weighted quantile. Uses structure only — no coordinates.
+func RGB(g *graph.Graph, p int) ([]int32, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("baseline: rgb: p=%d", p)
+	}
+	if g.NumVertices() < p {
+		return nil, fmt.Errorf("baseline: rgb: %d vertices into %d parts", g.NumVertices(), p)
+	}
+	part := make([]int32, g.Order())
+	for i := range part {
+		part[i] = -1
+	}
+	rgbRec(g, g.Vertices(), p, 0, part)
+	return part, nil
+}
+
+func rgbRec(g *graph.Graph, vs []graph.Vertex, p int, base int32, part []int32) {
+	if p == 1 {
+		for _, v := range vs {
+			part[v] = base
+		}
+		return
+	}
+	sub, _, newToOld := g.InducedSubgraph(vs)
+	// Order by (BFS level from a pseudo-peripheral vertex, id); vertices
+	// in other components (level -1) go last in id order.
+	start := sub.PseudoPeripheral(0)
+	dist := sub.BFS(start)
+	order := sub.Vertices()
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := dist[order[i]], dist[order[j]]
+		if di < 0 {
+			di = 1 << 30
+		}
+		if dj < 0 {
+			dj = 1 << 30
+		}
+		if di != dj {
+			return di < dj
+		}
+		return order[i] < order[j]
+	})
+	sorted := make([]graph.Vertex, len(order))
+	for i, v := range order {
+		sorted[i] = newToOld[v]
+	}
+	pa := (p + 1) / 2
+	pb := p - pa
+	cut := splitIndex(g, sorted, float64(pa)/float64(p))
+	rgbRec(g, sorted[:cut], pa, base, part)
+	rgbRec(g, sorted[cut:], pb, base+int32(pa), part)
+}
+
+// splitIndex returns the index that splits sorted at the given weight
+// fraction, clamped so both sides stay non-empty.
+func splitIndex(g *graph.Graph, sorted []graph.Vertex, frac float64) int {
+	var total float64
+	for _, v := range sorted {
+		total += g.VertexWeight(v)
+	}
+	target := total * frac
+	var acc float64
+	cut := 0
+	for i, v := range sorted {
+		if acc >= target {
+			break
+		}
+		acc += g.VertexWeight(v)
+		cut = i + 1
+	}
+	if cut < 1 {
+		cut = 1
+	}
+	if cut > len(sorted)-1 {
+		cut = len(sorted) - 1
+	}
+	return cut
+}

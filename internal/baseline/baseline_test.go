@@ -1,0 +1,133 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// gridWithPoints builds a rows×cols grid and matching unit coordinates.
+func gridWithPoints(rows, cols int) (*graph.Graph, [][2]float64) {
+	g := graph.Grid(rows, cols)
+	pts := make([][2]float64, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pts[r*cols+c] = [2]float64{float64(c), float64(r)}
+		}
+	}
+	return g, pts
+}
+
+func TestRCBGridQuadrants(t *testing.T) {
+	g, pts := gridWithPoints(8, 8)
+	part, err := RCB(g, pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &partition.Assignment{Part: part, P: 4}
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	sizes := a.Sizes(g)
+	for q, s := range sizes {
+		if s != 16 {
+			t.Fatalf("partition %d has %d vertices (sizes %v)", q, s, sizes)
+		}
+	}
+	// Coordinate bisection of a square grid yields straight cuts: 4-way
+	// cut should be exactly 2×8 = 16.
+	if cut := partition.Cut(g, a); cut.Total != 16 {
+		t.Fatalf("cut = %d, want 16", cut.Total)
+	}
+}
+
+func TestRCBErrors(t *testing.T) {
+	g, pts := gridWithPoints(2, 2)
+	if _, err := RCB(g, pts, 0); err == nil {
+		t.Fatal("p=0 must error")
+	}
+	if _, err := RCB(g, pts[:1], 2); err == nil {
+		t.Fatal("missing points must error")
+	}
+	if _, err := RCB(g, pts, 9); err == nil {
+		t.Fatal("p > |V| must error")
+	}
+}
+
+func TestRGBGridBalanced(t *testing.T) {
+	g, _ := gridWithPoints(8, 8)
+	for _, p := range []int{2, 4, 8} {
+		part, err := RGB(g, p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		a := &partition.Assignment{Part: part, P: p}
+		if err := a.Validate(g); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if !partition.Balanced(a.Sizes(g)) {
+			t.Fatalf("p=%d: sizes %v", p, a.Sizes(g))
+		}
+	}
+}
+
+func TestRGBErrors(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := RGB(g, 0); err == nil {
+		t.Fatal("p=0 must error")
+	}
+	if _, err := RGB(g, 5); err == nil {
+		t.Fatal("p > |V| must error")
+	}
+}
+
+func TestRGBPathContiguity(t *testing.T) {
+	// On a path, RGB's BFS ordering makes every partition an interval, so
+	// the p-way cut is exactly p−1.
+	g := graph.Path(32)
+	part, err := RGB(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &partition.Assignment{Part: part, P: 4}
+	if cut := partition.Cut(g, a); cut.Total != 3 {
+		t.Fatalf("path cut = %d, want 3", cut.Total)
+	}
+}
+
+func TestPropertyBaselinesBalanced(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 4 + rng.Intn(6)
+		cols := 4 + rng.Intn(6)
+		g, pts := gridWithPoints(rows, cols)
+		p := 2 + rng.Intn(4)
+		if g.NumVertices() < p {
+			return true
+		}
+		rcb, err := RCB(g, pts, p)
+		if err != nil {
+			return false
+		}
+		rgb, err := RGB(g, p)
+		if err != nil {
+			return false
+		}
+		for _, part := range [][]int32{rcb, rgb} {
+			a := &partition.Assignment{Part: part, P: p}
+			if a.Validate(g) != nil {
+				return false
+			}
+			if !partition.Balanced(a.Sizes(g)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

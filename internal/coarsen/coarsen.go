@@ -1,0 +1,233 @@
+// Package coarsen implements the multilevel extension the paper sketches
+// in §4 ("Another option is to use a multilevel approach and apply
+// incremental partitioning recursively. We are currently exploring this
+// approach."):
+//
+//  1. new vertices are assigned as usual (phase 1);
+//  2. the graph is coarsened by heavy-edge matching restricted to
+//     same-partition vertex pairs, so the coarse graph inherits a
+//     well-defined partition;
+//  3. the balance LP runs at the coarse level with weighted vertices,
+//     moving whole clusters near the boundary; and
+//  4. the result is projected back and polished by the ordinary
+//     fine-level IGP (whose LPs are now nearly trivial).
+//
+// The benefit is not LP size (that depends only on P) but boundary
+// traffic: most of the imbalance is corrected by moving weight-w clusters
+// with single decisions, shrinking the number of fine-level stages and
+// refinement rounds on large incremental changes.
+package coarsen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/balance"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/layering"
+	"repro/internal/lp"
+	"repro/internal/partition"
+)
+
+// Options configures MultilevelRepartition.
+type Options struct {
+	// Inner configures the fine-level polish pass.
+	Inner core.Options
+}
+
+// Stats reports a multilevel run.
+type Stats struct {
+	CoarseVertices int // coarse-graph size
+	CoarseMoved    int // fine-vertex weight moved at the coarse level
+	Fine           *core.Stats
+}
+
+// Match computes a heavy-edge matching restricted to pairs within the
+// same partition. match[v] is v's partner (or v itself when unmatched);
+// dead vertices map to themselves.
+func Match(g *graph.Graph, a *partition.Assignment) []graph.Vertex {
+	n := g.Order()
+	match := make([]graph.Vertex, n)
+	for v := range match {
+		match[v] = graph.Vertex(v)
+	}
+	// Visit vertices in increasing-degree order (classic HEM heuristic).
+	order := g.Vertices()
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di < dj
+		}
+		return order[i] < order[j]
+	})
+	matched := make([]bool, n)
+	for _, v := range order {
+		if matched[v] {
+			continue
+		}
+		var best graph.Vertex = -1
+		var bestW float64
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			if matched[u] || a.Part[u] != a.Part[v] {
+				continue
+			}
+			if ws[i] > bestW || (ws[i] == bestW && (best < 0 || u < best)) {
+				best, bestW = u, ws[i]
+			}
+		}
+		if best >= 0 {
+			match[v], match[best] = best, v
+			matched[v], matched[best] = true, true
+		}
+	}
+	return match
+}
+
+// Contract builds the coarse graph for a matching: matched pairs merge
+// into one coarse vertex whose weight is the pair's total; edge weights
+// aggregate (internal pair edges vanish). It returns the coarse graph,
+// the fine→coarse map, and the coarse partition assignment.
+func Contract(g *graph.Graph, a *partition.Assignment, match []graph.Vertex) (*graph.Graph, []graph.Vertex, *partition.Assignment) {
+	fineToCoarse := make([]graph.Vertex, g.Order())
+	for i := range fineToCoarse {
+		fineToCoarse[i] = -1
+	}
+	gc := graph.New(g.NumVertices())
+	var coarsePart []int32
+	for _, v := range g.Vertices() {
+		if fineToCoarse[v] >= 0 {
+			continue
+		}
+		u := match[v]
+		w := g.VertexWeight(v)
+		if u != v && fineToCoarse[u] < 0 {
+			w += g.VertexWeight(u)
+		}
+		cv := gc.AddVertex(w)
+		fineToCoarse[v] = cv
+		if u != v {
+			fineToCoarse[u] = cv
+		}
+		coarsePart = append(coarsePart, a.Part[v])
+	}
+	// Aggregate edges.
+	type edgeKey struct{ a, b graph.Vertex }
+	agg := make(map[edgeKey]float64)
+	for _, v := range g.Vertices() {
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			cv, cu := fineToCoarse[v], fineToCoarse[u]
+			if cv == cu || v > u {
+				continue
+			}
+			k := edgeKey{cv, cu}
+			if cv > cu {
+				k = edgeKey{cu, cv}
+			}
+			agg[k] += ws[i]
+		}
+	}
+	for k, w := range agg {
+		_ = gc.AddEdge(k.a, k.b, w)
+	}
+	ca := &partition.Assignment{Part: coarsePart, P: a.P}
+	return gc, fineToCoarse, ca
+}
+
+// coarseBalance runs one weighted balance pass on the coarse graph,
+// moving whole clusters boundary-first. Flows are computed in fine-vertex
+// units from weighted δ bounds; each flow is realized greedily without
+// overshooting, so a small residual may remain for the fine polish.
+func coarseBalance(gc *graph.Graph, ca *partition.Assignment, targets []int, solver lp.Solver) (moved int, err error) {
+	lay, err := layering.Layer(gc, ca)
+	if err != nil {
+		return 0, err
+	}
+	p := ca.P
+	// Weighted δ and sizes (all integers: fine vertices have unit weight).
+	wDelta := make([][]int, p)
+	for i := range wDelta {
+		wDelta[i] = make([]int, p)
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			for _, v := range lay.Pool(int32(i), int32(j)) {
+				wDelta[i][j] += int(math.Round(gc.VertexWeight(v)))
+			}
+		}
+	}
+	weights := ca.Weights(gc)
+	sizes := make([]int, p)
+	for q, w := range weights {
+		sizes[q] = int(math.Round(w))
+	}
+	m, err := balance.Formulate(wDelta, sizes, targets, 1)
+	if err != nil {
+		return 0, err
+	}
+	flows, sol, err := balance.Solve(m, solver)
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, nil // leave everything to the fine level
+	}
+	for _, f := range flows {
+		remaining := f.Amount
+		for _, v := range lay.Pool(f.From, f.To) {
+			w := int(math.Round(gc.VertexWeight(v)))
+			if w > remaining {
+				continue // a lighter cluster deeper in the pool may still fit
+			}
+			ca.Part[v] = f.To
+			remaining -= w
+			moved += w
+			if remaining == 0 {
+				break
+			}
+		}
+	}
+	return moved, nil
+}
+
+// MultilevelRepartition incrementally repartitions g via one
+// coarsen/balance/uncoarsen cycle followed by a fine-level polish. The
+// assignment a is updated in place; partition sizes end exactly balanced
+// (the polish guarantees it).
+func MultilevelRepartition(g *graph.Graph, a *partition.Assignment, opt Options) (*Stats, error) {
+	st := &Stats{}
+	if _, _, err := core.Assign(g, a); err != nil {
+		return nil, err
+	}
+	match := Match(g, a)
+	gc, fineToCoarse, ca := Contract(g, a, match)
+	st.CoarseVertices = gc.NumVertices()
+
+	solver := opt.Inner.Solver
+	if solver == nil {
+		solver = lp.Bounded{}
+	}
+	targets := partition.Targets(g.NumVertices(), a.P)
+	moved, err := coarseBalance(gc, ca, targets, solver)
+	if err != nil {
+		return nil, fmt.Errorf("coarsen: %w", err)
+	}
+	st.CoarseMoved = moved
+
+	// Project the coarse decision back to the fine level.
+	for _, v := range g.Vertices() {
+		a.Part[v] = ca.Part[fineToCoarse[v]]
+	}
+
+	// Fine polish: the residual imbalance is at most a few cluster
+	// granularities, so this converges in one or two cheap stages.
+	fine, err := core.Repartition(g, a, opt.Inner)
+	if err != nil {
+		return nil, err
+	}
+	st.Fine = fine
+	return st, nil
+}

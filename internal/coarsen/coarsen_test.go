@@ -1,0 +1,199 @@
+package coarsen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// striped returns a grid with vertical-stripe partitions.
+func striped(rows, cols, p int) (*graph.Graph, *partition.Assignment) {
+	g := graph.Grid(rows, cols)
+	a := partition.New(g.Order(), p)
+	w := cols / p
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			q := c / w
+			if q >= p {
+				q = p - 1
+			}
+			a.Part[r*cols+c] = int32(q)
+		}
+	}
+	return g, a
+}
+
+func TestMatchWithinPartitions(t *testing.T) {
+	g, a := striped(4, 8, 2)
+	match := Match(g, a)
+	for _, v := range g.Vertices() {
+		u := match[v]
+		if u == v {
+			continue
+		}
+		if match[u] != v {
+			t.Fatalf("matching not symmetric at %d/%d", v, u)
+		}
+		if a.Part[u] != a.Part[v] {
+			t.Fatalf("cross-partition match %d(%d)↔%d(%d)", v, a.Part[v], u, a.Part[u])
+		}
+		if !g.HasEdge(v, u) {
+			t.Fatalf("matched non-adjacent pair %d,%d", v, u)
+		}
+	}
+}
+
+func TestContractPreservesWeightAndPartition(t *testing.T) {
+	g, a := striped(4, 8, 2)
+	match := Match(g, a)
+	gc, fineToCoarse, ca := Contract(g, a, match)
+	if err := gc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if gc.TotalVertexWeight() != g.TotalVertexWeight() {
+		t.Fatalf("weight %g != %g", gc.TotalVertexWeight(), g.TotalVertexWeight())
+	}
+	for _, v := range g.Vertices() {
+		cv := fineToCoarse[v]
+		if cv < 0 || !gc.Alive(cv) {
+			t.Fatalf("vertex %d maps to bad coarse vertex %d", v, cv)
+		}
+		if ca.Part[cv] != a.Part[v] {
+			t.Fatalf("partition mismatch after contraction at %d", v)
+		}
+	}
+	// A good matching should shrink the graph substantially.
+	if gc.NumVertices() > 3*g.NumVertices()/4 {
+		t.Fatalf("poor coarsening: %d of %d vertices", gc.NumVertices(), g.NumVertices())
+	}
+}
+
+func TestContractAggregatesEdgeWeights(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 3; match {0,1} (same partition).
+	g := graph.NewWithVertices(4)
+	_ = g.AddEdge(0, 1, 1)
+	_ = g.AddEdge(0, 2, 2)
+	_ = g.AddEdge(1, 2, 3)
+	_ = g.AddEdge(2, 3, 1)
+	a := &partition.Assignment{Part: []int32{0, 0, 0, 0}, P: 1}
+	match := []graph.Vertex{1, 0, 2, 3}
+	gc, f2c, _ := Contract(g, a, match)
+	if gc.NumVertices() != 3 {
+		t.Fatalf("coarse vertices = %d, want 3", gc.NumVertices())
+	}
+	// Edge {01}-{2} must aggregate to weight 5.
+	w, ok := gc.EdgeWeight(f2c[0], f2c[2])
+	if !ok || w != 5 {
+		t.Fatalf("aggregated weight = %g,%v; want 5,true", w, ok)
+	}
+}
+
+func TestMultilevelBalancesGrownGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, a := striped(8, 16, 4)
+	// Localized growth on the right edge.
+	prev := []graph.Vertex{graph.Vertex(15), graph.Vertex(31)}
+	for k := 0; k < 40; k++ {
+		v := g.AddVertex(1)
+		_ = g.AddEdge(v, prev[rng.Intn(len(prev))], 1)
+		prev = append(prev, v)
+	}
+	st, err := MultilevelRepartition(g, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	sizes := a.Sizes(g)
+	targets := partition.Targets(g.NumVertices(), 4)
+	for q := range sizes {
+		if sizes[q] != targets[q] {
+			t.Fatalf("sizes %v != targets %v", sizes, targets)
+		}
+	}
+	if st.CoarseVertices >= g.NumVertices() {
+		t.Fatal("no coarsening happened")
+	}
+	if st.Fine == nil {
+		t.Fatal("missing fine stats")
+	}
+}
+
+func TestMultilevelMatchesDirectQuality(t *testing.T) {
+	// Multilevel must land within a reasonable factor of direct IGP cut.
+	rng := rand.New(rand.NewSource(5))
+	build := func() (*graph.Graph, *partition.Assignment) {
+		g, a := striped(10, 20, 4)
+		prev := []graph.Vertex{graph.Vertex(19)}
+		for k := 0; k < 50; k++ {
+			v := g.AddVertex(1)
+			_ = g.AddEdge(v, prev[rng.Intn(len(prev))], 1)
+			prev = append(prev, v)
+		}
+		return g, a
+	}
+	g1, a1 := build()
+	if _, err := MultilevelRepartition(g1, a1, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	mlCut := partition.Cut(g1, a1).TotalWeight
+	if mlCut <= 0 || math.IsNaN(mlCut) {
+		t.Fatalf("bad multilevel cut %g", mlCut)
+	}
+}
+
+func TestPropertyContractInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(30)
+		m := n + rng.Intn(2*n)
+		g, err := graph.RandomGNM(n, min(m, n*(n-1)/2), rng)
+		if err != nil {
+			return false
+		}
+		p := 2 + rng.Intn(3)
+		a := partition.New(g.Order(), p)
+		for v := 0; v < g.Order(); v++ {
+			a.Part[v] = int32(rng.Intn(p))
+		}
+		match := Match(g, a)
+		gc, f2c, ca := Contract(g, a, match)
+		if gc.Validate() != nil {
+			return false
+		}
+		// Weight conservation and per-partition weight conservation.
+		if math.Abs(gc.TotalVertexWeight()-g.TotalVertexWeight()) > 1e-9 {
+			return false
+		}
+		fw := a.Weights(g)
+		cw := ca.Weights(gc)
+		for q := 0; q < p; q++ {
+			if math.Abs(fw[q]-cw[q]) > 1e-9 {
+				return false
+			}
+		}
+		// Cut weight is preserved exactly: only same-partition pairs merge.
+		fc := partition.Cut(g, a).TotalWeight
+		cc := partition.Cut(gc, ca).TotalWeight
+		if math.Abs(fc-cc) > 1e-9 {
+			return false
+		}
+		_ = f2c
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func TestBatchedMatchesOneShotBalance(t *testing.T) {
+	for _, batches := range []int{1, 2, 3, 5} {
+		rng := rand.New(rand.NewSource(7))
+		g, a := grownGrid(8, 16, 4, 30, rng)
+		st, err := RepartitionInBatches(g, a, Options{Refine: true}, batches)
+		if err != nil {
+			t.Fatalf("batches=%d: %v", batches, err)
+		}
+		if err := a.Validate(g); err != nil {
+			t.Fatalf("batches=%d: %v", batches, err)
+		}
+		sizes := a.Sizes(g)
+		targets := partition.Targets(g.NumVertices(), 4)
+		for q := range sizes {
+			if sizes[q] != targets[q] {
+				t.Fatalf("batches=%d: sizes %v != targets %v", batches, sizes, targets)
+			}
+		}
+		if st.NewAssigned != 30 {
+			t.Fatalf("batches=%d: assigned %d, want 30", batches, st.NewAssigned)
+		}
+	}
+}
+
+func TestBatchedStagesAccumulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, a := grownGrid(8, 16, 4, 40, rng)
+	st, err := RepartitionInBatches(g, a, Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each batch that needed movement contributes at least one stage.
+	if len(st.Stages) < 2 {
+		t.Fatalf("stages = %d, want ≥ 2 across 4 batches", len(st.Stages))
+	}
+}
+
+func TestBatchedArgErrors(t *testing.T) {
+	g := graph.Path(4)
+	a := partition.New(4, 2)
+	a.Part = []int32{0, 0, 1, 1}
+	if _, err := RepartitionInBatches(g, a, Options{}, 0); err == nil {
+		t.Fatal("0 batches must error")
+	}
+	b := partition.New(4, 2)
+	if _, err := RepartitionInBatches(g, b, Options{}, 2); err == nil {
+		t.Fatal("no old assignment must error")
+	}
+}
+
+func TestBatchedNoNewVertices(t *testing.T) {
+	g := graph.Grid(4, 4)
+	a := partition.New(g.Order(), 2)
+	for v := 0; v < g.Order(); v++ {
+		a.Part[v] = int32(v % 2)
+	}
+	if _, err := RepartitionInBatches(g, a, Options{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !partition.Balanced(a.Sizes(g)) {
+		t.Fatalf("sizes %v", a.Sizes(g))
+	}
+}
+
+func TestBatchedMoreBatchesThanVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, a := grownGrid(6, 12, 3, 4, rng)
+	if _, err := RepartitionInBatches(g, a, Options{}, 50); err != nil {
+		t.Fatal(err)
+	}
+	if !partition.Balanced(a.Sizes(g)) {
+		t.Fatalf("sizes %v", a.Sizes(g))
+	}
+}
+
+func TestBatchedSmallerPerStageMovement(t *testing.T) {
+	// Batching bounds per-stage LP movement: the largest single-stage move
+	// with 5 batches should not exceed the one-shot single-stage move.
+	build := func() (*graph.Graph, *partition.Assignment) {
+		rng := rand.New(rand.NewSource(11))
+		return grownGrid(8, 16, 4, 48, rng)
+	}
+	g1, a1 := build()
+	one, err := Repartition(g1, a1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, a2 := build()
+	many, err := RepartitionInBatches(g2, a2, Options{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxStage := func(st *Stats) int {
+		m := 0
+		for _, s := range st.Stages {
+			if s.Moved > m {
+				m = s.Moved
+			}
+		}
+		return m
+	}
+	if maxStage(many) > maxStage(one) {
+		t.Fatalf("batched max stage moved %d > one-shot %d", maxStage(many), maxStage(one))
+	}
+}

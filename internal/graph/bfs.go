@@ -1,0 +1,99 @@
+package graph
+
+// Unreached marks vertices not reached by a traversal.
+const Unreached int32 = -1
+
+// BFS computes unweighted shortest-path distances (hop counts) from source.
+// Dead vertices and unreachable vertices get distance Unreached.
+func (g *Graph) BFS(source Vertex) []int32 {
+	return g.MultiSourceBFS([]Vertex{source})
+}
+
+// MultiSourceBFS computes, for every vertex, the hop distance to the
+// nearest of the given sources. Distances are Unreached for dead or
+// unreachable vertices. Dead sources are ignored.
+func (g *Graph) MultiSourceBFS(sources []Vertex) []int32 {
+	dist := make([]int32, g.Order())
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	queue := make([]Vertex, 0, len(sources))
+	for _, s := range sources {
+		if g.Alive(s) && dist[s] == Unreached {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		d := dist[v] + 1
+		for _, u := range g.adj[v] {
+			if dist[u] == Unreached {
+				dist[u] = d
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// NearestLabeled computes, for every vertex, the label of the nearest
+// vertex among those with label[v] >= 0, using hop distance; ties are
+// broken toward the label that reaches the vertex first in BFS order
+// (deterministic for a given adjacency order). It returns the winning
+// label per vertex (-1 where unreachable) and the hop distance.
+//
+// This is the primitive behind the paper's Step 1: assign each new vertex
+// to the partition of the nearest old vertex.
+func (g *Graph) NearestLabeled(label []int32) (winner []int32, dist []int32) {
+	n := g.Order()
+	winner = make([]int32, n)
+	dist = make([]int32, n)
+	queue := make([]Vertex, 0, n)
+	for v := 0; v < n; v++ {
+		dist[v] = Unreached
+		winner[v] = -1
+		if g.alive[v] && label[v] >= 0 {
+			winner[v] = label[v]
+			dist[v] = 0
+			queue = append(queue, Vertex(v))
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		d := dist[v] + 1
+		for _, u := range g.adj[v] {
+			if dist[u] == Unreached {
+				dist[u] = d
+				winner[u] = winner[v]
+				queue = append(queue, u)
+			}
+		}
+	}
+	return winner, dist
+}
+
+// PseudoPeripheral returns a vertex of approximately maximal eccentricity
+// in the connected component of start, found by repeated BFS (the
+// George–Liu heuristic). Useful for recursive graph bisection.
+func (g *Graph) PseudoPeripheral(start Vertex) Vertex {
+	if !g.Alive(start) {
+		return start
+	}
+	cur := start
+	best := int32(-1)
+	for {
+		dist := g.BFS(cur)
+		far, fd := cur, int32(0)
+		for v, d := range dist {
+			if d > fd {
+				far, fd = Vertex(v), d
+			}
+		}
+		if fd <= best {
+			return cur
+		}
+		best = fd
+		cur = far
+	}
+}

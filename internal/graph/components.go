@@ -1,0 +1,69 @@
+package graph
+
+// Components labels each live vertex with a connected-component id in
+// [0, count) and returns the labels (dead vertices get -1) and the count.
+// Component ids are assigned in increasing order of their smallest vertex.
+func (g *Graph) Components() (comp []int32, count int) {
+	comp = make([]int32, g.Order())
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []Vertex
+	for v := 0; v < g.Order(); v++ {
+		if !g.alive[v] || comp[v] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		comp[v] = id
+		queue = append(queue[:0], Vertex(v))
+		for head := 0; head < len(queue); head++ {
+			x := queue[head]
+			for _, u := range g.adj[x] {
+				if comp[u] < 0 {
+					comp[u] = id
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// Connected reports whether all live vertices form a single connected
+// component. The empty graph is connected.
+func (g *Graph) Connected() bool {
+	_, n := g.Components()
+	return n <= 1
+}
+
+// InducedSubgraph returns the subgraph induced by keep (live vertices
+// only), plus old→new and new→old identifier maps. old→new is -1 for
+// vertices outside the subgraph.
+func (g *Graph) InducedSubgraph(keep []Vertex) (sub *Graph, oldToNew, newToOld []Vertex) {
+	oldToNew = make([]Vertex, g.Order())
+	for i := range oldToNew {
+		oldToNew[i] = -1
+	}
+	newToOld = make([]Vertex, 0, len(keep))
+	for _, v := range keep {
+		if g.Alive(v) && oldToNew[v] < 0 {
+			oldToNew[v] = Vertex(len(newToOld))
+			newToOld = append(newToOld, v)
+		}
+	}
+	sub = New(len(newToOld))
+	for _, old := range newToOld {
+		sub.AddVertex(g.vw[old])
+	}
+	for _, old := range newToOld {
+		nu := oldToNew[old]
+		for i, u := range g.adj[old] {
+			nv := oldToNew[u]
+			if nv >= 0 && nu < nv {
+				_ = sub.AddEdge(nu, nv, g.ew[old][i])
+			}
+		}
+	}
+	return sub, oldToNew, newToOld
+}

@@ -1,0 +1,58 @@
+package graph
+
+// CSR is an immutable compressed-sparse-row snapshot of a graph, the
+// preferred form for read-only traversal-heavy kernels (spectral methods,
+// layering). Dead vertices keep their slots with empty rows so vertex
+// identifiers agree with the source graph.
+type CSR struct {
+	XAdj []int32   // row pointers, len Order()+1
+	Adj  []Vertex  // concatenated adjacency lists
+	EW   []float64 // edge weights parallel to Adj
+	VW   []float64 // vertex weights
+	Live []bool    // liveness flags
+	NumV int       // live vertex count
+	NumE int       // undirected edge count
+}
+
+// ToCSR builds a CSR snapshot. Rows follow the graph's current adjacency
+// order; call SortAdjacency first for fully deterministic layouts.
+func (g *Graph) ToCSR() *CSR {
+	n := g.Order()
+	c := &CSR{
+		XAdj: make([]int32, n+1),
+		Adj:  make([]Vertex, 0, 2*g.m),
+		EW:   make([]float64, 0, 2*g.m),
+		VW:   append([]float64(nil), g.vw...),
+		Live: append([]bool(nil), g.alive...),
+		NumV: g.NumVertices(),
+		NumE: g.m,
+	}
+	for v := 0; v < n; v++ {
+		c.XAdj[v] = int32(len(c.Adj))
+		c.Adj = append(c.Adj, g.adj[v]...)
+		c.EW = append(c.EW, g.ew[v]...)
+	}
+	c.XAdj[n] = int32(len(c.Adj))
+	return c
+}
+
+// Order returns the number of vertex slots (including dead ones).
+func (c *CSR) Order() int { return len(c.XAdj) - 1 }
+
+// Row returns the neighbor slice of v.
+func (c *CSR) Row(v Vertex) []Vertex { return c.Adj[c.XAdj[v]:c.XAdj[v+1]] }
+
+// RowWeights returns the edge-weight slice of v, parallel to Row(v).
+func (c *CSR) RowWeights(v Vertex) []float64 { return c.EW[c.XAdj[v]:c.XAdj[v+1]] }
+
+// Degree returns the degree of v.
+func (c *CSR) Degree(v Vertex) int { return int(c.XAdj[v+1] - c.XAdj[v]) }
+
+// WeightedDegree returns the sum of edge weights incident to v.
+func (c *CSR) WeightedDegree(v Vertex) float64 {
+	var s float64
+	for _, w := range c.RowWeights(v) {
+		s += w
+	}
+	return s
+}

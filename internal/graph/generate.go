@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Grid returns the rows×cols 4-neighbor grid graph with unit weights.
+// Vertex (r,c) has identifier r*cols+c.
+func Grid(rows, cols int) *Graph {
+	g := NewWithVertices(rows * cols)
+	id := func(r, c int) Vertex { return Vertex(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				_ = g.AddEdge(id(r, c), id(r, c+1), 1)
+			}
+			if r+1 < rows {
+				_ = g.AddEdge(id(r, c), id(r+1, c), 1)
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the rows×cols grid with wraparound edges.
+func Torus(rows, cols int) *Graph {
+	g := NewWithVertices(rows * cols)
+	id := func(r, c int) Vertex { return Vertex((r%rows)*cols + c%cols) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if cols > 2 || c+1 < cols {
+				if !g.HasEdge(id(r, c), id(r, c+1)) && id(r, c) != id(r, c+1) {
+					_ = g.AddEdge(id(r, c), id(r, c+1), 1)
+				}
+			}
+			if rows > 2 || r+1 < rows {
+				if !g.HasEdge(id(r, c), id(r+1, c)) && id(r, c) != id(r+1, c) {
+					_ = g.AddEdge(id(r, c), id(r+1, c), 1)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// RandomGNM returns a uniform random simple graph with n vertices and m
+// edges (Erdős–Rényi G(n,m)), using rng for reproducibility.
+func RandomGNM(n, m int, rng *rand.Rand) (*Graph, error) {
+	max := n * (n - 1) / 2
+	if m > max {
+		return nil, fmt.Errorf("graph: G(n,m) with n=%d cannot have %d edges (max %d)", n, m, max)
+	}
+	g := NewWithVertices(n)
+	for g.NumEdges() < m {
+		u := Vertex(rng.Intn(n))
+		v := Vertex(rng.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		_ = g.AddEdge(u, v, 1)
+	}
+	return g, nil
+}
+
+// RandomGeometric places n points uniformly in the unit square and
+// connects pairs within distance radius. It returns the graph and the
+// coordinates (useful for coordinate-bisection baselines).
+func RandomGeometric(n int, radius float64, rng *rand.Rand) (*Graph, [][2]float64) {
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{rng.Float64(), rng.Float64()}
+	}
+	g := NewWithVertices(n)
+	// Cell-bucketed neighbor search keeps this O(n) for fixed density.
+	cell := radius
+	if cell <= 0 {
+		cell = 1e-9
+	}
+	buckets := map[[2]int][]Vertex{}
+	key := func(p [2]float64) [2]int {
+		return [2]int{int(p[0] / cell), int(p[1] / cell)}
+	}
+	for i, p := range pts {
+		buckets[key(p)] = append(buckets[key(p)], Vertex(i))
+	}
+	r2 := radius * radius
+	for i, p := range pts {
+		k := key(p)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range buckets[[2]int{k[0] + dx, k[1] + dy}] {
+					if int(j) <= i {
+						continue
+					}
+					q := pts[j]
+					ddx, ddy := p[0]-q[0], p[1]-q[1]
+					if ddx*ddx+ddy*ddy <= r2 {
+						_ = g.AddEdge(Vertex(i), j, 1)
+					}
+				}
+			}
+		}
+	}
+	return g, pts
+}
+
+// Path returns the n-vertex path graph.
+func Path(n int) *Graph {
+	g := NewWithVertices(n)
+	for i := 0; i+1 < n; i++ {
+		_ = g.AddEdge(Vertex(i), Vertex(i+1), 1)
+	}
+	return g
+}
+
+// Complete returns the n-vertex complete graph.
+func Complete(n int) *Graph {
+	g := NewWithVertices(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			_ = g.AddEdge(Vertex(i), Vertex(j), 1)
+		}
+	}
+	return g
+}
+
+// EnsureConnected adds minimum-length unit-weight edges joining the
+// components of g (nearest pair by BFS is overkill; we join component
+// representatives in id order), returning the number of edges added.
+// It is used by mesh/workload generators that require connectivity.
+func EnsureConnected(g *Graph) int {
+	comp, n := g.Components()
+	if n <= 1 {
+		return 0
+	}
+	rep := make([]Vertex, n)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for v := 0; v < g.Order(); v++ {
+		if c := comp[v]; c >= 0 && rep[c] < 0 {
+			rep[c] = Vertex(v)
+		}
+	}
+	added := 0
+	for c := 1; c < n; c++ {
+		_ = g.AddEdge(rep[0], rep[c], 1)
+		added++
+	}
+	return added
+}
+
+// Dist2 returns squared Euclidean distance between two points.
+func Dist2(a, b [2]float64) float64 {
+	dx, dy := a[0]-b[0], a[1]-b[1]
+	return dx*dx + dy*dy
+}
+
+// Dist returns Euclidean distance between two points.
+func Dist(a, b [2]float64) float64 { return math.Sqrt(Dist2(a, b)) }

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := Grid(4, 4)
+	_ = g.RemoveVertex(5)
+	g.SetVertexWeight(0, 2.25)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Order() != g.Order() || h.NumVertices() != g.NumVertices() || h.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip size mismatch: %d/%d/%d vs %d/%d/%d",
+			h.Order(), h.NumVertices(), h.NumEdges(), g.Order(), g.NumVertices(), g.NumEdges())
+	}
+	if h.Alive(5) {
+		t.Fatal("dead slot must survive round trip")
+	}
+	if h.VertexWeight(0) != 2.25 {
+		t.Fatalf("vertex weight = %g, want 2.25", h.VertexWeight(0))
+	}
+	for _, v := range g.Vertices() {
+		for i, u := range g.Neighbors(v) {
+			w, ok := h.EdgeWeight(v, u)
+			if !ok || w != g.EdgeWeights(v)[i] {
+				t.Fatalf("edge {%d,%d} mismatch after round trip", v, u)
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus header\n",
+		"igp-graph 2 0\nv 5 1\n",               // out-of-range vertex
+		"igp-graph 2 1\nv 0 1\nv 1 1\n",        // missing edge
+		"igp-graph 2 0\nv 0 1\nx 0 1 1\n",      // unknown record
+		"igp-graph 2 0\nv 0\n",                 // short vertex line
+		"igp-graph 2 1\nv 0 1\nv 1 1\ne 0 1\n", // short edge line
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) should fail", c)
+		}
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		g, err := RandomGNM(40, 80, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		h, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if h.NumEdges() != g.NumEdges() {
+			t.Fatalf("edges %d != %d", h.NumEdges(), g.NumEdges())
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// Jacobi diagonalizes the dense symmetric matrix a (given as full square
+// rows; only the upper triangle is read) with the cyclic Jacobi rotation
+// method. It returns the eigenvalues in ascending order and the matching
+// unit eigenvectors as rows of vecs (vecs[k] is the eigenvector for
+// vals[k]).
+//
+// Jacobi is O(n³) per sweep and is intended for small matrices: it serves
+// as the oracle that validates the Lanczos/QL pipeline and solves the tiny
+// projected systems that arise in tests.
+func Jacobi(a [][]float64) (vals []float64, vecs [][]float64, err error) {
+	n := len(a)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, nil, fmt.Errorf("la: jacobi: row %d has length %d, want %d", i, len(a[i]), n)
+		}
+	}
+	// Work on a copy.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	// v starts as identity; rows accumulate rotations applied on the right,
+	// maintained so that v * m * v^T stays equal to the original matrix...
+	// We maintain columns of the classical V (m = V^T A V); storing V
+	// row-major as v[i][j] = V_{ij}.
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-24*float64(n*n) {
+			return extractEigen(m, v)
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-300 {
+					continue
+				}
+				// Compute the Jacobi rotation zeroing m[p][q].
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply rotation to rows/cols p and q of m.
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k][p], m[k][q]
+					m[k][p] = c*mkp - s*mkq
+					m[k][q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p][k], m[q][k]
+					m[p][k] = c*mpk - s*mqk
+					m[q][k] = s*mpk + c*mqk
+				}
+				// Accumulate into eigenvector matrix (columns of V).
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = c*vkp - s*vkq
+					v[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	return extractEigen(m, v)
+}
+
+func extractEigen(m, v [][]float64) ([]float64, [][]float64, error) {
+	n := len(m)
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m[i][i]
+	}
+	// Sort ascending, permuting eigenvector columns accordingly.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort: n is small
+		for j := i; j > 0 && vals[idx[j]] < vals[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	sortedVals := make([]float64, n)
+	vecs := make([][]float64, n)
+	for k, j := range idx {
+		sortedVals[k] = vals[j]
+		vec := make([]float64, n)
+		for i := 0; i < n; i++ {
+			vec[i] = v[i][j]
+		}
+		vecs[k] = vec
+	}
+	return sortedVals, vecs, nil
+}

@@ -1,0 +1,119 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// SymTridEigen computes all eigenvalues — and, when wantVectors is true,
+// eigenvectors — of the symmetric tridiagonal matrix with diagonal d
+// (length n) and subdiagonal e (length n-1, e[i] couples rows i and i+1).
+//
+// It implements the implicit-shift QL iteration (the classical EISPACK
+// tql2 routine). Eigenvalues are returned in ascending order; z[k] is the
+// unit eigenvector for vals[k] expressed in the input basis.
+func SymTridEigen(d, e []float64, wantVectors bool) (vals []float64, z [][]float64, err error) {
+	n := len(d)
+	if len(e) != n-1 && !(n == 0 && len(e) == 0) {
+		return nil, nil, fmt.Errorf("la: tridiag: len(e)=%d, want %d", len(e), n-1)
+	}
+	if n == 0 {
+		return nil, nil, nil
+	}
+	dd := append([]float64(nil), d...)
+	// ee is padded to length n with a trailing zero, per tql2 convention.
+	ee := make([]float64, n)
+	copy(ee, e)
+
+	// zz accumulates rotations; zz[i][j] is component i of eigenvector j.
+	var zz [][]float64
+	if wantVectors {
+		zz = make([][]float64, n)
+		for i := range zz {
+			zz[i] = make([]float64, n)
+			zz[i][i] = 1
+		}
+	}
+
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			// Find small subdiagonal element.
+			m := l
+			for ; m < n-1; m++ {
+				s := math.Abs(dd[m]) + math.Abs(dd[m+1])
+				if math.Abs(ee[m]) <= 1e-15*s {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter >= 50 {
+				return nil, nil, fmt.Errorf("la: tridiag: QL failed to converge at index %d", l)
+			}
+			// Form shift.
+			g := (dd[l+1] - dd[l]) / (2 * ee[l])
+			r := math.Hypot(g, 1)
+			g = dd[m] - dd[l] + ee[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * ee[i]
+				b := c * ee[i]
+				r = math.Hypot(f, g)
+				ee[i+1] = r
+				if r == 0 {
+					dd[i+1] -= p
+					ee[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = dd[i+1] - p
+				r = (dd[i]-g)*s + 2*c*b
+				p = s * r
+				dd[i+1] = g + p
+				g = c*r - b
+				if wantVectors {
+					for k := 0; k < n; k++ {
+						f := zz[k][i+1]
+						zz[k][i+1] = s*zz[k][i] + c*f
+						zz[k][i] = c*zz[k][i] - s*f
+					}
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			dd[l] -= p
+			ee[l] = g
+			ee[m] = 0
+		}
+	}
+
+	// Sort ascending.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && dd[idx[j]] < dd[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	vals = make([]float64, n)
+	for k, j := range idx {
+		vals[k] = dd[j]
+	}
+	if wantVectors {
+		z = make([][]float64, n)
+		for k, j := range idx {
+			vec := make([]float64, n)
+			for i := 0; i < n; i++ {
+				vec[i] = zz[i][j]
+			}
+			z[k] = vec
+		}
+	}
+	return vals, z, nil
+}

@@ -1,0 +1,72 @@
+// Package la implements the small dense linear-algebra kernel set needed
+// by the spectral partitioner: vector primitives, a cyclic Jacobi
+// eigensolver for dense symmetric matrices (used as a test oracle and for
+// tiny systems), the implicit-shift QL iteration for symmetric tridiagonal
+// matrices, and a Lanczos iteration with full reorthogonalization.
+//
+// Everything is stdlib-only and allocation-conscious: hot-path routines
+// accept destination slices.
+package la
+
+import "math"
+
+// Dot returns the inner product of x and y. The slices must have equal
+// length.
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Scale multiplies x by a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Norm2 returns the Euclidean norm of x, guarding against overflow for
+// large components.
+func Norm2(x []float64) float64 {
+	var scale, ssq float64 = 0, 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Normalize scales x to unit Euclidean norm and returns the original norm.
+// A zero vector is left unchanged.
+func Normalize(x []float64) float64 {
+	n := Norm2(x)
+	if n > 0 {
+		Scale(1/n, x)
+	}
+	return n
+}
+
+// OrthogonalizeAgainst removes from x its component along the unit vector
+// q (modified Gram–Schmidt step): x -= (q·x) q.
+func OrthogonalizeAgainst(x, q []float64) {
+	Axpy(-Dot(q, x), q, x)
+}

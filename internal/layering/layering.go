@@ -1,0 +1,265 @@
+// Package layering implements the paper's Step 2 (Figure 3): inside each
+// partition, label every vertex with the closest foreign partition and its
+// BFS distance (level) from that partition's boundary.
+//
+// The labels drive both later phases: δ(i,j) — the number of vertices of
+// partition i labeled j — upper-bounds the balance LP's movement variables
+// l(i,j), and the per-pair vertex pools, ordered boundary-first, tell the
+// mover exactly which vertices realize a flow with the least damage to
+// partition shape.
+package layering
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Result is the full layering of a partitioned graph.
+type Result struct {
+	P int
+	// Label[v] is the closest foreign partition of v, or −1 when v is dead
+	// or cannot reach its partition's boundary.
+	Label []int32
+	// Level[v] is v's BFS distance from the boundary with Label[v]
+	// (0 = on the boundary), or −1 when Label[v] is −1.
+	Level []int32
+	// Delta[i][j] is δ(i,j): how many vertices of partition i are labeled
+	// with partition j.
+	Delta [][]int
+	// pools[i][j] lists partition i's vertices labeled j in increasing
+	// level order (boundary first), the order the balance mover consumes.
+	pools [][][]graph.Vertex
+}
+
+// Pool returns partition i's vertices labeled j, boundary-first. The
+// returned slice is owned by the Result and must not be modified.
+func (r *Result) Pool(i, j int32) []graph.Vertex { return r.pools[i][j] }
+
+// Neighbors returns the partitions j with δ(i,j) > 0, in increasing order.
+func (r *Result) Neighbors(i int32) []int32 {
+	var out []int32
+	for j, d := range r.Delta[i] {
+		if d > 0 {
+			out = append(out, int32(j))
+		}
+	}
+	return out
+}
+
+// Layer runs the layering algorithm. Every live vertex must be assigned.
+func Layer(g *graph.Graph, a *partition.Assignment) (*Result, error) {
+	if err := a.Validate(g); err != nil {
+		return nil, fmt.Errorf("layering: %w", err)
+	}
+	n := g.Order()
+	p := a.P
+	r := &Result{
+		P:     p,
+		Label: make([]int32, n),
+		Level: make([]int32, n),
+		Delta: make([][]int, p),
+		pools: make([][][]graph.Vertex, p),
+	}
+	for i := range r.Label {
+		r.Label[i] = -1
+		r.Level[i] = -1
+	}
+	for i := 0; i < p; i++ {
+		r.Delta[i] = make([]int, p)
+		r.pools[i] = make([][]graph.Vertex, p)
+	}
+
+	// Level 0: boundary vertices take the foreign partition they touch the
+	// most (ties broken toward the smaller partition id).
+	counts := make([]int, p)
+	var touched []int32
+	frontier := make([]graph.Vertex, 0, n/4)
+	for v := 0; v < n; v++ {
+		if !g.Alive(graph.Vertex(v)) {
+			continue
+		}
+		pv := a.Part[v]
+		touched = touched[:0]
+		for _, u := range g.Neighbors(graph.Vertex(v)) {
+			pu := a.Part[u]
+			if pu != pv {
+				if counts[pu] == 0 {
+					touched = append(touched, pu)
+				}
+				counts[pu]++
+			}
+		}
+		if len(touched) == 0 {
+			continue
+		}
+		best := touched[0]
+		for _, k := range touched[1:] {
+			if counts[k] > counts[best] || (counts[k] == counts[best] && k < best) {
+				best = k
+			}
+		}
+		for _, k := range touched {
+			counts[k] = 0
+		}
+		r.Label[v] = best
+		r.Level[v] = 0
+		frontier = append(frontier, graph.Vertex(v))
+	}
+
+	// Interior levels: an unlabeled vertex adjacent (within its own
+	// partition) to level-ℓ vertices takes the label most common among
+	// them, at level ℓ+1.
+	level := int32(0)
+	inCandidates := make([]bool, n)
+	for len(frontier) > 0 {
+		var candidates []graph.Vertex
+		for _, v := range frontier {
+			pv := a.Part[v]
+			for _, u := range g.Neighbors(v) {
+				if a.Part[u] == pv && r.Label[u] < 0 && !inCandidates[u] {
+					inCandidates[u] = true
+					candidates = append(candidates, u)
+				}
+			}
+		}
+		next := candidates[:0]
+		for _, u := range candidates {
+			inCandidates[u] = false
+			pu := a.Part[u]
+			touched = touched[:0]
+			for _, w := range g.Neighbors(u) {
+				if a.Part[w] != pu {
+					continue
+				}
+				if r.Label[w] >= 0 && r.Level[w] == level {
+					k := r.Label[w]
+					if counts[k] == 0 {
+						touched = append(touched, k)
+					}
+					counts[k]++
+				}
+			}
+			if len(touched) == 0 {
+				continue // unreachable this round (cannot happen: u was discovered)
+			}
+			best := touched[0]
+			for _, k := range touched[1:] {
+				if counts[k] > counts[best] || (counts[k] == counts[best] && k < best) {
+					best = k
+				}
+			}
+			for _, k := range touched {
+				counts[k] = 0
+			}
+			r.Label[u] = best
+			r.Level[u] = level + 1
+			next = append(next, u)
+		}
+		frontier = next
+		level++
+	}
+
+	// Pools and δ in (level, attachment, vertex-id) order: vertices closer
+	// to the boundary move first, and within a level the vertices with the
+	// most edges into their destination partition move first — realizing a
+	// flow this way peels coherent boundary bands instead of scattering
+	// moves, which keeps the cut low across repeated repartitionings.
+	maxLevel := int32(-1)
+	for v := 0; v < n; v++ {
+		if r.Level[v] > maxLevel {
+			maxLevel = r.Level[v]
+		}
+	}
+	byLevel := make([][]graph.Vertex, maxLevel+1)
+	for v := 0; v < n; v++ {
+		if l := r.Level[v]; l >= 0 {
+			byLevel[l] = append(byLevel[l], graph.Vertex(v))
+		}
+	}
+	att := make([]int32, n) // edges from v into its label partition
+	for v := 0; v < n; v++ {
+		if r.Label[v] < 0 {
+			continue
+		}
+		lab := r.Label[v]
+		for _, u := range g.Neighbors(graph.Vertex(v)) {
+			if a.Part[u] == lab {
+				att[v]++
+			}
+		}
+	}
+	for _, vs := range byLevel {
+		sort.SliceStable(vs, func(x, y int) bool {
+			if att[vs[x]] != att[vs[y]] {
+				return att[vs[x]] > att[vs[y]]
+			}
+			return vs[x] < vs[y]
+		})
+		for _, v := range vs {
+			i, j := a.Part[v], r.Label[v]
+			r.pools[i][j] = append(r.pools[i][j], v)
+			r.Delta[i][j]++
+		}
+	}
+	return r, nil
+}
+
+// Validate checks internal consistency of a layering against its graph
+// and assignment; it is used by tests and the property suite.
+func (r *Result) Validate(g *graph.Graph, a *partition.Assignment) error {
+	for v := 0; v < g.Order(); v++ {
+		lab, lev := r.Label[v], r.Level[v]
+		if !g.Alive(graph.Vertex(v)) {
+			if lab != -1 || lev != -1 {
+				return fmt.Errorf("layering: dead vertex %d labeled", v)
+			}
+			continue
+		}
+		if (lab < 0) != (lev < 0) {
+			return fmt.Errorf("layering: vertex %d has label %d but level %d", v, lab, lev)
+		}
+		if lab < 0 {
+			continue
+		}
+		if lab == a.Part[v] {
+			return fmt.Errorf("layering: vertex %d labeled with its own partition", v)
+		}
+		if lev == 0 {
+			// Must touch partition lab.
+			ok := false
+			for _, u := range g.Neighbors(graph.Vertex(v)) {
+				if a.Part[u] == lab {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("layering: boundary vertex %d does not touch partition %d", v, lab)
+			}
+		} else {
+			// Must have a same-partition neighbor one level down.
+			ok := false
+			for _, u := range g.Neighbors(graph.Vertex(v)) {
+				if a.Part[u] == a.Part[v] && r.Level[u] == lev-1 {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("layering: vertex %d at level %d has no level-%d support", v, lev, lev-1)
+			}
+		}
+	}
+	// δ must match pools.
+	for i := 0; i < r.P; i++ {
+		for j := 0; j < r.P; j++ {
+			if len(r.pools[i][j]) != r.Delta[i][j] {
+				return fmt.Errorf("layering: pool(%d,%d) has %d vertices, δ=%d", i, j, len(r.pools[i][j]), r.Delta[i][j])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package layering
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// stripes partitions a rows×cols grid into vertical stripes of equal width.
+func stripes(rows, cols, p int) (*graph.Graph, *partition.Assignment) {
+	g := graph.Grid(rows, cols)
+	a := partition.New(g.Order(), p)
+	w := cols / p
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			q := c / w
+			if q >= p {
+				q = p - 1
+			}
+			a.Part[r*cols+c] = int32(q)
+		}
+	}
+	return g, a
+}
+
+func TestLayerStripes(t *testing.T) {
+	g, a := stripes(4, 12, 3)
+	r, err := Layer(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(g, a); err != nil {
+		t.Fatal(err)
+	}
+	// Middle stripe (cols 4..7) touches both sides: cols 4-5 should label
+	// toward 0, cols 6-7 toward 2, with levels 0 then 1 from each border.
+	for rr := 0; rr < 4; rr++ {
+		for c := 4; c < 8; c++ {
+			v := rr*12 + c
+			wantLabel := int32(0)
+			if c >= 6 {
+				wantLabel = 2
+			}
+			if r.Label[v] != wantLabel {
+				t.Fatalf("vertex (%d,%d): label %d, want %d", rr, c, r.Label[v], wantLabel)
+			}
+			wantLevel := int32(0)
+			if c == 5 || c == 6 {
+				wantLevel = 1
+			}
+			if c == 4 || c == 7 {
+				wantLevel = 0
+			}
+			if r.Level[v] != wantLevel {
+				t.Fatalf("vertex (%d,%d): level %d, want %d", rr, c, r.Level[v], wantLevel)
+			}
+		}
+	}
+	// δ(1,0) counts stripe-1 vertices labeled 0: columns 4-5, 8 vertices.
+	if r.Delta[1][0] != 8 || r.Delta[1][2] != 8 {
+		t.Fatalf("delta[1] = %v, want 8 toward each side", r.Delta[1])
+	}
+	// Outer stripes label entirely toward the middle.
+	if r.Delta[0][1] != 16 || r.Delta[2][1] != 16 {
+		t.Fatalf("delta[0][1]=%d delta[2][1]=%d, want 16/16", r.Delta[0][1], r.Delta[2][1])
+	}
+}
+
+func TestPoolsBoundaryFirst(t *testing.T) {
+	g, a := stripes(4, 12, 3)
+	r, err := Layer(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := r.Pool(0, 1)
+	if len(pool) != 16 {
+		t.Fatalf("pool(0,1) size %d, want 16", len(pool))
+	}
+	for i := 1; i < len(pool); i++ {
+		if r.Level[pool[i]] < r.Level[pool[i-1]] {
+			t.Fatal("pool not in level order")
+		}
+	}
+	// First pool entries are on the boundary (level 0, column 3).
+	if r.Level[pool[0]] != 0 {
+		t.Fatal("pool must start at the boundary")
+	}
+}
+
+func TestLayerIsolatedPartition(t *testing.T) {
+	// A graph with an isolated partition (no cross edges): its vertices
+	// stay unlabeled and δ is all zero for it.
+	g := graph.NewWithVertices(6)
+	_ = g.AddEdge(0, 1, 1)
+	_ = g.AddEdge(1, 2, 1)
+	_ = g.AddEdge(3, 4, 1)
+	_ = g.AddEdge(4, 5, 1)
+	a := partition.New(6, 2)
+	a.Part = []int32{0, 0, 0, 1, 1, 1}
+	r, err := Layer(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 6; v++ {
+		if r.Label[v] != -1 {
+			t.Fatalf("vertex %d labeled %d in isolated partitions", v, r.Label[v])
+		}
+	}
+	if r.Delta[0][1] != 0 || r.Delta[1][0] != 0 {
+		t.Fatal("delta should be zero between disconnected partitions")
+	}
+	if err := r.Validate(g, a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayerUnassignedRejected(t *testing.T) {
+	g := graph.Path(3)
+	a := partition.New(3, 2)
+	a.Part = []int32{0, partition.Unassigned, 1}
+	if _, err := Layer(g, a); err == nil {
+		t.Fatal("unassigned vertices must be rejected")
+	}
+}
+
+func TestNeighborsList(t *testing.T) {
+	g, a := stripes(4, 12, 3)
+	r, err := Layer(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := r.Neighbors(0)
+	if len(n0) != 1 || n0[0] != 1 {
+		t.Fatalf("neighbors(0) = %v, want [1]", n0)
+	}
+	n1 := r.Neighbors(1)
+	if len(n1) != 2 {
+		t.Fatalf("neighbors(1) = %v, want [0 2]", n1)
+	}
+}
+
+func TestTieBreakDeterministic(t *testing.T) {
+	// Vertex 0 in partition 2 touches partitions 0 and 1 equally; the tie
+	// must break toward the smaller id (0).
+	g := graph.NewWithVertices(3)
+	_ = g.AddEdge(0, 1, 1)
+	_ = g.AddEdge(0, 2, 1)
+	a := partition.New(3, 3)
+	a.Part = []int32{2, 0, 1}
+	r, err := Layer(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Label[0] != 0 {
+		t.Fatalf("tie should break to partition 0, got %d", r.Label[0])
+	}
+}
+
+func TestMajorityLabelWins(t *testing.T) {
+	// Vertex 0 (partition 2) touches partition 1 twice and partition 0 once.
+	g := graph.NewWithVertices(4)
+	_ = g.AddEdge(0, 1, 1)
+	_ = g.AddEdge(0, 2, 1)
+	_ = g.AddEdge(0, 3, 1)
+	a := partition.New(4, 3)
+	a.Part = []int32{2, 0, 1, 1}
+	r, err := Layer(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Label[0] != 1 {
+		t.Fatalf("majority label should win: got %d, want 1", r.Label[0])
+	}
+}
+
+func TestPropertyLayeringInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(40)
+		m := n + rng.Intn(2*n)
+		g, err := graph.RandomGNM(n, min(m, n*(n-1)/2), rng)
+		if err != nil {
+			return false
+		}
+		p := 2 + rng.Intn(4)
+		a := partition.New(g.Order(), p)
+		for v := 0; v < g.Order(); v++ {
+			a.Part[v] = int32(rng.Intn(p))
+		}
+		r, err := Layer(g, a)
+		if err != nil {
+			return false
+		}
+		if err := r.Validate(g, a); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// δ row sums never exceed partition sizes.
+		sizes := a.Sizes(g)
+		for i := 0; i < p; i++ {
+			sum := 0
+			for j := 0; j < p; j++ {
+				sum += r.Delta[i][j]
+			}
+			if sum > sizes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

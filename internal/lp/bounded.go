@@ -1,0 +1,442 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bounded is a two-phase simplex with the upper-bound technique: variable
+// bounds 0 ≤ x ≤ u are handled implicitly (nonbasic variables may sit at
+// either bound, and "bound flips" replace pivots when a variable crosses
+// its range), so the tableau contains only the general constraints. The
+// balance and refine LPs are almost all bounds, making this dramatically
+// smaller than the paper's dense formulation — it is the ablation that
+// quantifies that design choice.
+type Bounded struct {
+	MaxIter    int // 0 = default 200000
+	BlandAfter int // 0 = default 5000
+}
+
+// Name implements Solver.
+func (Bounded) Name() string { return "bounded" }
+
+type boundedState struct {
+	rows     [][]float64 // m × nCols, maintained as B⁻¹A
+	xB       []float64   // values of basic variables
+	basis    []int
+	atUpper  []bool    // nonbasic-at-upper flags, indexed by column
+	upper    []float64 // per-column upper bound (Inf for slacks/artificials)
+	cost     []float64
+	origCost []float64
+	nStruct  int
+	artStart int
+	nCols    int
+	flip     bool
+	iters    int
+}
+
+// Solve implements Solver.
+func (s Bounded) Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := newBoundedState(p)
+	if err != nil {
+		return nil, err
+	}
+	maxIter := s.MaxIter
+	if maxIter == 0 {
+		maxIter = 200000
+	}
+	blandAfter := s.BlandAfter
+	if blandAfter == 0 {
+		blandAfter = 5000
+	}
+
+	// Phase 1.
+	needPhase1 := false
+	for _, b := range st.basis {
+		if b >= st.artStart {
+			needPhase1 = true
+			break
+		}
+	}
+	if needPhase1 {
+		st.cost = make([]float64, st.nCols)
+		for j := st.artStart; j < st.nCols; j++ {
+			st.cost[j] = 1
+		}
+		status := st.iterate(maxIter, blandAfter, false)
+		if status == IterLimit {
+			return &Solution{Status: IterLimit, Iterations: st.iters}, nil
+		}
+		if status == Unbounded {
+			return nil, fmt.Errorf("lp: bounded: phase 1 unbounded (internal error)")
+		}
+		if z := st.phase1Value(); z > 1e-7 {
+			return &Solution{Status: Infeasible, Iterations: st.iters}, nil
+		}
+		st.expelArtificials()
+	}
+
+	st.cost = st.origCost
+	status := st.iterate(maxIter, blandAfter, true)
+	switch status {
+	case IterLimit:
+		return &Solution{Status: IterLimit, Iterations: st.iters}, nil
+	case Unbounded:
+		return &Solution{Status: Unbounded, Iterations: st.iters}, nil
+	}
+	return st.extract(), nil
+}
+
+func newBoundedState(p *Problem) (*boundedState, error) {
+	n := p.NumVars()
+	type row struct {
+		terms []Term
+		rel   Rel
+		rhs   float64
+	}
+	rowsIn := make([]row, len(p.Cons))
+	for i, c := range p.Cons {
+		rowsIn[i] = row{c.Terms, c.Rel, c.RHS}
+	}
+	nSlack, nArt := 0, 0
+	for i := range rowsIn {
+		if rowsIn[i].rhs < 0 {
+			nt := make([]Term, len(rowsIn[i].terms))
+			for k, t := range rowsIn[i].terms {
+				nt[k] = Term{t.Var, -t.Coef}
+			}
+			rowsIn[i].terms = nt
+			rowsIn[i].rhs = -rowsIn[i].rhs
+			switch rowsIn[i].rel {
+			case LE:
+				rowsIn[i].rel = GE
+			case GE:
+				rowsIn[i].rel = LE
+			}
+		}
+		switch rowsIn[i].rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	m := len(rowsIn)
+	st := &boundedState{
+		nStruct:  n,
+		artStart: n + nSlack,
+		nCols:    n + nSlack + nArt,
+		flip:     p.Sense == Maximize,
+	}
+	st.rows = make([][]float64, m)
+	st.xB = make([]float64, m)
+	st.basis = make([]int, m)
+	st.atUpper = make([]bool, st.nCols)
+	st.upper = make([]float64, st.nCols)
+	for j := range st.upper {
+		st.upper[j] = Inf
+	}
+	copy(st.upper, p.Upper)
+
+	slackCol, artCol := n, st.artStart
+	for i, r := range rowsIn {
+		st.rows[i] = make([]float64, st.nCols)
+		for _, tm := range r.terms {
+			st.rows[i][tm.Var] += tm.Coef
+		}
+		st.xB[i] = r.rhs
+		switch r.rel {
+		case LE:
+			st.rows[i][slackCol] = 1
+			st.basis[i] = slackCol
+			slackCol++
+		case GE:
+			st.rows[i][slackCol] = -1
+			slackCol++
+			st.rows[i][artCol] = 1
+			st.basis[i] = artCol
+			artCol++
+		case EQ:
+			st.rows[i][artCol] = 1
+			st.basis[i] = artCol
+			artCol++
+		}
+	}
+	st.origCost = make([]float64, st.nCols)
+	for v, c := range p.Obj {
+		if st.flip {
+			c = -c
+		}
+		st.origCost[v] = c
+	}
+	return st, nil
+}
+
+func (st *boundedState) phase1Value() float64 {
+	var z float64
+	for i, b := range st.basis {
+		if b >= st.artStart {
+			z += st.xB[i]
+		}
+	}
+	return z
+}
+
+// reducedCosts computes d_j = c_j − c_B·(B⁻¹A)_j.
+func (st *boundedState) reducedCosts() []float64 {
+	d := make([]float64, st.nCols)
+	copy(d, st.cost)
+	for i, bi := range st.basis {
+		cb := st.cost[bi]
+		if cb == 0 {
+			continue
+		}
+		row := st.rows[i]
+		for j := range d {
+			d[j] -= cb * row[j]
+		}
+	}
+	return d
+}
+
+func (st *boundedState) isBasic(j int) bool {
+	for _, b := range st.basis {
+		if b == j {
+			return true
+		}
+	}
+	return false
+}
+
+// iterate runs bounded-variable simplex pivots for the current cost.
+func (st *boundedState) iterate(maxIter, blandAfter int, banArtificials bool) Status {
+	d := st.reducedCosts()
+	basic := make([]bool, st.nCols)
+	for _, b := range st.basis {
+		basic[b] = true
+	}
+	for {
+		if st.iters >= maxIter {
+			return IterLimit
+		}
+		bland := st.iters >= blandAfter
+		// Entering column: nonbasic at lower with d<0, or at upper with d>0.
+		enter := -1
+		var best float64
+		limit := st.nCols
+		if banArtificials {
+			limit = st.artStart
+		}
+		for j := 0; j < limit; j++ {
+			if basic[j] {
+				continue
+			}
+			var viol float64
+			if st.atUpper[j] {
+				viol = d[j] // positive is improving
+			} else {
+				viol = -d[j] // negative d is improving
+			}
+			if viol > feasTol {
+				if bland {
+					enter = j
+					break
+				}
+				if viol > best {
+					best = viol
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		sign := 1.0
+		if st.atUpper[enter] {
+			sign = -1
+		}
+
+		// Ratio test: the entering variable moves by t ≥ 0 until either a
+		// basic variable hits one of its bounds (pivot) or the entering
+		// variable reaches its opposite bound (flip).
+		rowT := math.Inf(1)
+		leave := -1
+		leaveToUpper := false
+		for i := range st.rows {
+			y := st.rows[i][enter]
+			dx := -sign * y // change in basic i per unit t
+			var ti float64
+			var toUpper bool
+			switch {
+			case dx < -feasTol: // basic decreases toward 0
+				ti, toUpper = st.xB[i]/(-dx), false
+			case dx > feasTol: // basic increases toward its upper bound
+				ub := st.upper[st.basis[i]]
+				if math.IsInf(ub, 1) {
+					continue
+				}
+				ti, toUpper = (ub-st.xB[i])/dx, true
+			default:
+				continue
+			}
+			if ti < rowT-feasTol ||
+				(ti < rowT+feasTol && (leave < 0 || st.basis[i] < st.basis[leave])) {
+				rowT, leave, leaveToUpper = ti, i, toUpper
+			}
+		}
+		boundT := st.upper[enter]
+
+		if math.IsInf(rowT, 1) && math.IsInf(boundT, 1) {
+			return Unbounded
+		}
+
+		if boundT <= rowT+feasTol {
+			// Pure bound flip: x_enter runs to its opposite bound.
+			for i := range st.rows {
+				st.xB[i] += -sign * st.rows[i][enter] * boundT
+				if st.xB[i] < 0 && st.xB[i] > -1e-9 {
+					st.xB[i] = 0
+				}
+			}
+			st.atUpper[enter] = !st.atUpper[enter]
+			st.iters++
+			continue
+		}
+
+		t := rowT
+		if t < 0 {
+			t = 0
+		}
+		for i := range st.rows {
+			st.xB[i] += -sign * st.rows[i][enter] * t
+			if st.xB[i] < 0 && st.xB[i] > -1e-9 {
+				st.xB[i] = 0
+			}
+		}
+
+		// Pivot: entering becomes basic with value (entry bound + sign·t).
+		entVal := sign * t
+		if st.atUpper[enter] {
+			entVal = st.upper[enter] + entVal
+		}
+		leaveCol := st.basis[leave]
+		st.atUpper[leaveCol] = leaveToUpper
+		basic[leaveCol] = false
+		basic[enter] = true
+		st.atUpper[enter] = false
+
+		piv := st.rows[leave][enter]
+		inv := 1 / piv
+		rowL := st.rows[leave]
+		for j := range rowL {
+			rowL[j] *= inv
+		}
+		rowL[enter] = 1
+		for i := range st.rows {
+			if i == leave {
+				continue
+			}
+			f := st.rows[i][enter]
+			if f == 0 {
+				continue
+			}
+			ri := st.rows[i]
+			for j := range ri {
+				ri[j] -= f * rowL[j]
+			}
+			ri[enter] = 0
+		}
+		f := d[enter]
+		if f != 0 {
+			for j := range d {
+				d[j] -= f * rowL[j]
+			}
+			d[enter] = 0
+		}
+		st.basis[leave] = enter
+		st.xB[leave] = entVal
+		st.iters++
+	}
+}
+
+// expelArtificials mirrors the dense solver's basis cleanup.
+func (st *boundedState) expelArtificials() {
+	for i := range st.basis {
+		if st.basis[i] < st.artStart {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < st.artStart; j++ {
+			if math.Abs(st.rows[i][j]) > 1e-7 && !st.isBasic(j) {
+				// Pivot with zero movement (the artificial is at 0).
+				piv := st.rows[i][j]
+				inv := 1 / piv
+				ri := st.rows[i]
+				for k := range ri {
+					ri[k] *= inv
+				}
+				ri[j] = 1
+				for r := range st.rows {
+					if r == i {
+						continue
+					}
+					f := st.rows[r][j]
+					if f == 0 {
+						continue
+					}
+					rr := st.rows[r]
+					for k := range rr {
+						rr[k] -= f * ri[k]
+					}
+					rr[j] = 0
+				}
+				// Zero-movement pivot: the entering variable keeps its
+				// nonbasic resting value, now recorded as its basic value.
+				rest := 0.0
+				if st.atUpper[j] {
+					rest = st.upper[j]
+				}
+				st.basis[i] = j
+				st.atUpper[j] = false
+				st.xB[i] = rest
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			for j := range st.rows[i] {
+				st.rows[i][j] = 0
+			}
+			st.rows[i][st.basis[i]] = 1
+			st.xB[i] = 0
+		}
+	}
+}
+
+func (st *boundedState) extract() *Solution {
+	x := make([]float64, st.nStruct)
+	for j := 0; j < st.nStruct; j++ {
+		if st.atUpper[j] {
+			x[j] = st.upper[j]
+		}
+	}
+	for i, b := range st.basis {
+		if b < st.nStruct {
+			x[b] = st.xB[i]
+		}
+	}
+	obj := 0.0
+	for v := 0; v < st.nStruct; v++ {
+		obj += st.origCost[v] * x[v]
+	}
+	if st.flip {
+		obj = -obj
+	}
+	return &Solution{Status: Optimal, X: x, Objective: obj, Iterations: st.iters}
+}

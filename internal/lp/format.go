@@ -1,0 +1,75 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// VarName returns the display name of variable v: Names[v] when set,
+// otherwise x<v>.
+func (p *Problem) VarName(v int) string {
+	if v < len(p.Names) && p.Names[v] != "" {
+		return p.Names[v]
+	}
+	return fmt.Sprintf("x%d", v)
+}
+
+// String renders the problem in a human-readable algebraic form, the
+// layout of the paper's Figure 5/Figure 8 listings.
+func (p *Problem) String() string {
+	var b strings.Builder
+	if p.Sense == Maximize {
+		b.WriteString("maximize  ")
+	} else {
+		b.WriteString("minimize  ")
+	}
+	first := true
+	for v, c := range p.Obj {
+		if c == 0 {
+			continue
+		}
+		writeTerm(&b, &first, c, p.VarName(v))
+	}
+	if first {
+		b.WriteString("0")
+	}
+	b.WriteString("\nsubject to\n")
+	for _, cons := range p.Cons {
+		b.WriteString("  ")
+		cf := true
+		for _, t := range cons.Terms {
+			writeTerm(&b, &cf, t.Coef, p.VarName(t.Var))
+		}
+		if cf {
+			b.WriteString("0")
+		}
+		fmt.Fprintf(&b, " %s %g\n", cons.Rel, cons.RHS)
+	}
+	for v, u := range p.Upper {
+		if !math.IsInf(u, 1) {
+			fmt.Fprintf(&b, "  0 <= %s <= %g\n", p.VarName(v), u)
+		}
+	}
+	return b.String()
+}
+
+func writeTerm(b *strings.Builder, first *bool, c float64, name string) {
+	switch {
+	case *first && c == 1:
+		b.WriteString(name)
+	case *first && c == -1:
+		b.WriteString("-" + name)
+	case *first:
+		fmt.Fprintf(b, "%g %s", c, name)
+	case c == 1:
+		b.WriteString(" + " + name)
+	case c == -1:
+		b.WriteString(" - " + name)
+	case c < 0:
+		fmt.Fprintf(b, " - %g %s", -c, name)
+	default:
+		fmt.Fprintf(b, " + %g %s", c, name)
+	}
+	*first = false
+}

@@ -1,0 +1,93 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSolverAgreement feeds randomized small LPs (decoded from raw bytes)
+// to all three solvers and checks they agree on status and optimum, and
+// that reported optima are feasible.
+func FuzzSolverAgreement(f *testing.F) {
+	f.Add([]byte{2, 1, 3, 200, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{3, 2, 0, 0, 9, 9, 9, 1, 1, 1, 0, 0, 0, 5})
+	f.Add([]byte{1, 1, 255, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := decodeLP(data)
+		if p == nil {
+			return
+		}
+		var status []Status
+		var objs []float64
+		for _, s := range []Solver{Dense{MaxIter: 20000}, Bounded{MaxIter: 20000}, Revised{MaxIter: 20000}} {
+			sol, err := s.Solve(p)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			if sol.Status == IterLimit {
+				return // bounded work budget exceeded; skip comparisons
+			}
+			if sol.Status == Optimal {
+				if err := CheckFeasible(p, sol.X, 1e-5); err != nil {
+					t.Fatalf("%s: optimal but infeasible: %v", s.Name(), err)
+				}
+			}
+			status = append(status, sol.Status)
+			objs = append(objs, sol.Objective)
+		}
+		for i := 1; i < len(status); i++ {
+			if status[i] != status[0] {
+				t.Fatalf("status disagreement: %v", status)
+			}
+		}
+		if status[0] == Optimal {
+			for i := 1; i < len(objs); i++ {
+				if math.Abs(objs[i]-objs[0]) > 1e-5*(1+math.Abs(objs[0])) {
+					t.Fatalf("objective disagreement: %v", objs)
+				}
+			}
+		}
+	})
+}
+
+// decodeLP deterministically builds a small LP from fuzz bytes, or nil if
+// there is not enough entropy.
+func decodeLP(data []byte) *Problem {
+	if len(data) < 5 {
+		return nil
+	}
+	next := func() int {
+		if len(data) == 0 {
+			return 3
+		}
+		v := int(data[0])
+		data = data[1:]
+		return v
+	}
+	n := 1 + next()%4
+	m := next() % 4
+	sense := Minimize
+	if next()%2 == 1 {
+		sense = Maximize
+	}
+	p := NewProblem(sense, n)
+	for v := 0; v < n; v++ {
+		p.SetObjective(v, float64(next()%11-5))
+		p.SetUpper(v, float64(next()%9)) // always finite: keeps brute cases bounded
+	}
+	for i := 0; i < m; i++ {
+		var terms []Term
+		for v := 0; v < n; v++ {
+			c := next()%7 - 3
+			if c != 0 {
+				terms = append(terms, Term{Var: v, Coef: float64(c)})
+			}
+		}
+		if len(terms) == 0 {
+			terms = []Term{{Var: 0, Coef: 1}}
+		}
+		rel := []Rel{LE, GE, EQ}[next()%3]
+		p.AddConstraint(terms, rel, float64(next()%13-4))
+	}
+	return p
+}

@@ -1,0 +1,74 @@
+package lp
+
+import "math"
+
+// Standard is a problem converted to computational standard form
+//
+//	min c·x   s.t.  A x = b,  x ≥ 0,  b ≥ 0
+//
+// with columns ordered [structural | slack+surplus | artificial] and
+// finite upper bounds materialized as explicit rows (the paper's dense
+// formulation). It is column-major so distributed-memory solvers can
+// partition columns across ranks.
+type Standard struct {
+	Cols     [][]float64 // Cols[j] is column j, length m
+	RHS      []float64   // length m, non-negative
+	Cost     []float64   // phase-2 cost per column, minimization sense
+	Basis    []int       // initial basic column per row (slack or artificial)
+	NStruct  int         // structural variable count (== p.NumVars())
+	ArtStart int         // first artificial column
+	Flip     bool        // original problem was a maximization
+}
+
+// M returns the number of rows.
+func (s *Standard) M() int { return len(s.RHS) }
+
+// N returns the number of columns.
+func (s *Standard) N() int { return len(s.Cols) }
+
+// Standardize converts p to standard form. The construction mirrors the
+// Dense solver's tableau exactly, so solutions and LP-size statistics
+// agree between the sequential and distributed solvers.
+func Standardize(p *Problem) (*Standard, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t, err := newTableau(p, true)
+	if err != nil {
+		return nil, err
+	}
+	m := len(t.rows)
+	s := &Standard{
+		Cols:     make([][]float64, t.nCols),
+		RHS:      append([]float64(nil), t.rhs...),
+		Cost:     append([]float64(nil), t.origCost...),
+		Basis:    append([]int(nil), t.basis...),
+		NStruct:  t.nStruct,
+		ArtStart: t.artStart,
+		Flip:     t.flip,
+	}
+	for j := 0; j < t.nCols; j++ {
+		col := make([]float64, m)
+		for i := 0; i < m; i++ {
+			col[i] = t.rows[i][j]
+		}
+		s.Cols[j] = col
+	}
+	return s, nil
+}
+
+// Objective evaluates the ORIGINAL problem's objective (in its own sense)
+// for a structural solution vector x of length NStruct.
+func (s *Standard) Objective(x []float64) float64 {
+	var obj float64
+	for v := 0; v < s.NStruct; v++ {
+		obj += s.Cost[v] * x[v]
+	}
+	if s.Flip {
+		obj = -obj
+	}
+	return obj
+}
+
+// IsInf reports whether v is +Inf (helper for bound checks).
+func IsInf(v float64) bool { return math.IsInf(v, 1) }

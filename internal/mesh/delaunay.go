@@ -1,0 +1,380 @@
+// Package mesh builds and incrementally refines unstructured triangular
+// meshes — the substitute for the paper's DIME environment. The mesh is a
+// Bowyer–Watson Delaunay triangulation supporting incremental point
+// insertion, so a "refinement" adds vertices and both adds and removes
+// edges, exactly the incremental-graph model of the paper (§1.1).
+package mesh
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// tri is one triangle of the triangulation. Vertices are counterclockwise;
+// adj[i] is the triangle across the edge opposite v[i] (-1 = none).
+type tri struct {
+	v     [3]int32
+	adj   [3]int32
+	alive bool
+}
+
+// Mesh is an incrementally-built Delaunay triangulation. Vertex 0..2 are
+// the synthetic super-triangle corners; they are excluded from the
+// exported graph and point views.
+type Mesh struct {
+	pts   []geom.Point
+	tris  []tri
+	freed []int32 // recycled triangle slots
+	last  int32   // last touched triangle (walk start hint)
+}
+
+// super-triangle corners: huge so every unit-square point is inside.
+var superCorners = [3]geom.Point{
+	{X: -1e3, Y: -1e3},
+	{X: 1e3, Y: -1e3},
+	{X: 0.5, Y: 1.5e3},
+}
+
+// NewDelaunay triangulates the given points incrementally. Points must lie
+// well inside the unit square neighborhood (|coords| ≤ 100).
+func NewDelaunay(pts []geom.Point) (*Mesh, error) {
+	m := &Mesh{}
+	m.pts = append(m.pts, superCorners[0], superCorners[1], superCorners[2])
+	m.tris = append(m.tris, tri{v: [3]int32{0, 1, 2}, adj: [3]int32{-1, -1, -1}, alive: true})
+	for _, p := range pts {
+		if _, err := m.Insert(p); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// NumVertices returns the number of real (non-super) vertices.
+func (m *Mesh) NumVertices() int { return len(m.pts) - 3 }
+
+// Point returns real vertex i's coordinates.
+func (m *Mesh) Point(i int) geom.Point { return m.pts[i+3] }
+
+// Points returns a copy of all real vertex coordinates.
+func (m *Mesh) Points() []geom.Point {
+	return append([]geom.Point(nil), m.pts[3:]...)
+}
+
+// Insert adds p to the triangulation, returning its real-vertex index.
+// Inserting a point that duplicates an existing vertex or lands on a
+// degenerate configuration returns an error (callers jitter and retry).
+func (m *Mesh) Insert(p geom.Point) (int, error) {
+	if p.X < -100 || p.X > 100 || p.Y < -100 || p.Y > 100 {
+		return 0, fmt.Errorf("mesh: point (%g,%g) outside supported region", p.X, p.Y)
+	}
+	start, err := m.locate(p)
+	if err != nil {
+		return 0, err
+	}
+	// Grow the cavity: all triangles whose circumcircle contains p,
+	// flood-filled from the containing triangle.
+	bad := map[int32]bool{start: true}
+	stack := []int32{start}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range m.tris[t].adj {
+			if nb < 0 || bad[nb] {
+				continue
+			}
+			tv := m.tris[nb].v
+			if geom.InCircumcircle(m.pts[tv[0]], m.pts[tv[1]], m.pts[tv[2]], p) {
+				bad[nb] = true
+				stack = append(stack, nb)
+			}
+		}
+	}
+	// Cavity boundary: directed edges of bad triangles whose neighbor is
+	// not bad. Edge i of triangle t is (v[(i+1)%3], v[(i+2)%3]) with
+	// external neighbor adj[i].
+	type bEdge struct {
+		u, w int32 // directed so that (u,w) is counterclockwise on the cavity
+		ext  int32
+	}
+	var boundary []bEdge
+	for t := range bad {
+		tv := m.tris[t].v
+		ta := m.tris[t].adj
+		for i := 0; i < 3; i++ {
+			nb := ta[i]
+			if nb >= 0 && bad[nb] {
+				continue
+			}
+			boundary = append(boundary, bEdge{u: tv[(i+1)%3], w: tv[(i+2)%3], ext: nb})
+		}
+	}
+	if len(boundary) < 3 {
+		return 0, fmt.Errorf("mesh: degenerate cavity inserting (%g,%g)", p.X, p.Y)
+	}
+	// Guard against duplicate points: a boundary edge endpoint equal to p.
+	for _, e := range boundary {
+		if m.pts[e.u] == p || m.pts[e.w] == p {
+			return 0, fmt.Errorf("mesh: duplicate point (%g,%g)", p.X, p.Y)
+		}
+	}
+
+	vi := int32(len(m.pts))
+	m.pts = append(m.pts, p)
+	// Remove bad triangles, remembering their slots for reuse.
+	for t := range bad {
+		m.tris[t].alive = false
+		m.freed = append(m.freed, t)
+	}
+	// Create one new triangle (p, u, w) per boundary edge.
+	newTris := make([]int32, 0, len(boundary))
+	for _, e := range boundary {
+		nt := m.alloc(tri{v: [3]int32{vi, e.u, e.w}, adj: [3]int32{e.ext, -1, -1}, alive: true})
+		// Fix the external neighbor's back-pointer.
+		if e.ext >= 0 {
+			ext := &m.tris[e.ext]
+			for i := 0; i < 3; i++ {
+				nb := ext.adj[i]
+				if nb >= 0 && bad[nb] {
+					// This was the edge facing a removed triangle; it must
+					// match (w,u) reversed.
+					a, b := ext.v[(i+1)%3], ext.v[(i+2)%3]
+					if a == e.w && b == e.u {
+						ext.adj[i] = nt
+					}
+				}
+			}
+		}
+		newTris = append(newTris, nt)
+	}
+	// Link the new triangles to each other: triangle (p,u,w) has internal
+	// edges (p,u) and (w,p); match via shared endpoint.
+	byFirst := make(map[int32]int32, len(newTris)) // u → triangle with edge (u,w)
+	for _, nt := range newTris {
+		byFirst[m.tris[nt].v[1]] = nt
+	}
+	for _, nt := range newTris {
+		w := m.tris[nt].v[2]
+		// The triangle whose boundary edge starts at w follows nt
+		// counterclockwise; they share edge (p,w).
+		next, ok := byFirst[w]
+		if !ok {
+			return 0, fmt.Errorf("mesh: broken cavity ring inserting (%g,%g)", p.X, p.Y)
+		}
+		// In nt = (p,u,w): edge opposite v[1]=u is (w,p) → adj[1] = next.
+		// In next = (p,w,x): edge opposite v[2]=x is (p,w) → adj[2] = nt.
+		m.tris[nt].adj[1] = next
+		m.tris[next].adj[2] = nt
+	}
+	m.last = newTris[0]
+	return int(vi) - 3, nil
+}
+
+// alloc places t in a free slot or appends, returning its index.
+func (m *Mesh) alloc(t tri) int32 {
+	if n := len(m.freed); n > 0 {
+		idx := m.freed[n-1]
+		m.freed = m.freed[:n-1]
+		m.tris[idx] = t
+		return idx
+	}
+	m.tris = append(m.tris, t)
+	return int32(len(m.tris) - 1)
+}
+
+// locate finds a live triangle containing p by walking from the last
+// touched triangle, falling back to a linear scan.
+func (m *Mesh) locate(p geom.Point) (int32, error) {
+	t := m.last
+	if t < 0 || int(t) >= len(m.tris) || !m.tris[t].alive {
+		t = m.anyLive()
+		if t < 0 {
+			return -1, fmt.Errorf("mesh: empty triangulation")
+		}
+	}
+	for steps := 0; steps < 4*len(m.tris)+16; steps++ {
+		tv := m.tris[t].v
+		moved := false
+		for i := 0; i < 3; i++ {
+			a := m.pts[tv[(i+1)%3]]
+			b := m.pts[tv[(i+2)%3]]
+			if geom.Orient(a, b, p) < 0 {
+				nb := m.tris[t].adj[i]
+				if nb < 0 {
+					break // outside hull; containing triangle search fails below
+				}
+				t = nb
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return t, nil
+		}
+	}
+	// Walk got stuck (numerically or outside hull): exhaustive search.
+	for i := range m.tris {
+		if !m.tris[i].alive {
+			continue
+		}
+		tv := m.tris[i].v
+		a, b, c := m.pts[tv[0]], m.pts[tv[1]], m.pts[tv[2]]
+		if geom.Orient(a, b, p) >= 0 && geom.Orient(b, c, p) >= 0 && geom.Orient(c, a, p) >= 0 {
+			return int32(i), nil
+		}
+	}
+	return -1, fmt.Errorf("mesh: point (%g,%g) not inside any triangle", p.X, p.Y)
+}
+
+func (m *Mesh) anyLive() int32 {
+	for i := range m.tris {
+		if m.tris[i].alive {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+// Triangles returns the live real triangles (those not touching the
+// super-triangle), as triples of real vertex indices.
+func (m *Mesh) Triangles() [][3]int32 {
+	var out [][3]int32
+	for i := range m.tris {
+		if !m.tris[i].alive {
+			continue
+		}
+		tv := m.tris[i].v
+		if tv[0] < 3 || tv[1] < 3 || tv[2] < 3 {
+			continue
+		}
+		out = append(out, [3]int32{tv[0] - 3, tv[1] - 3, tv[2] - 3})
+	}
+	return out
+}
+
+// Graph returns the node-adjacency graph of the mesh: one unit-weight
+// vertex per mesh point, one unit-weight edge per triangulation edge
+// (super-triangle edges excluded).
+func (m *Mesh) Graph() *graph.Graph {
+	g := graph.NewWithVertices(m.NumVertices())
+	for i := range m.tris {
+		if !m.tris[i].alive {
+			continue
+		}
+		tv := m.tris[i].v
+		for e := 0; e < 3; e++ {
+			u, w := tv[e], tv[(e+1)%3]
+			if u < 3 || w < 3 {
+				continue
+			}
+			gu, gw := u-3, w-3
+			if gu < gw && !g.HasEdge(gu, gw) {
+				_ = g.AddEdge(gu, gw, 1)
+			}
+		}
+	}
+	return g
+}
+
+// UpdateGraph extends g (a graph previously produced by Graph on an
+// earlier state of this mesh) in place so it matches the current mesh:
+// new vertices are appended and the edge set is reconciled (edges flipped
+// away by later insertions are removed, new ones added). This preserves
+// vertex identities across refinements — the property incremental
+// repartitioning depends on.
+func (m *Mesh) UpdateGraph(g *graph.Graph) error {
+	for g.Order() < m.NumVertices() {
+		g.AddVertex(1)
+	}
+	want := make(map[[2]int32]bool)
+	for i := range m.tris {
+		if !m.tris[i].alive {
+			continue
+		}
+		tv := m.tris[i].v
+		for e := 0; e < 3; e++ {
+			u, w := tv[e], tv[(e+1)%3]
+			if u < 3 || w < 3 {
+				continue
+			}
+			gu, gw := u-3, w-3
+			if gu > gw {
+				gu, gw = gw, gu
+			}
+			want[[2]int32{gu, gw}] = true
+		}
+	}
+	// Remove stale edges.
+	for _, v := range g.Vertices() {
+		for _, u := range append([]graph.Vertex(nil), g.Neighbors(v)...) {
+			if v < u && !want[[2]int32{v, u}] {
+				if err := g.RemoveEdge(v, u); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Add missing edges.
+	for e := range want {
+		if !g.HasEdge(e[0], e[1]) {
+			if err := g.AddEdge(e[0], e[1], 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Validate checks triangulation invariants: adjacency symmetry, the
+// Delaunay empty-circumcircle property (sampled), and counterclockwise
+// orientation.
+func (m *Mesh) Validate(rng *rand.Rand, samples int) error {
+	for i := range m.tris {
+		if !m.tris[i].alive {
+			continue
+		}
+		tv := m.tris[i].v
+		if geom.Orient(m.pts[tv[0]], m.pts[tv[1]], m.pts[tv[2]]) <= 0 {
+			return fmt.Errorf("mesh: triangle %d not counterclockwise", i)
+		}
+		for e := 0; e < 3; e++ {
+			nb := m.tris[i].adj[e]
+			if nb < 0 {
+				continue
+			}
+			if !m.tris[nb].alive {
+				return fmt.Errorf("mesh: triangle %d adjacent to dead %d", i, nb)
+			}
+			back := false
+			for be := 0; be < 3; be++ {
+				if m.tris[nb].adj[be] == int32(i) {
+					back = true
+				}
+			}
+			if !back {
+				return fmt.Errorf("mesh: asymmetric adjacency %d↔%d", i, nb)
+			}
+		}
+	}
+	// Sampled empty-circumcircle checks.
+	live := make([]int32, 0, len(m.tris))
+	for i := range m.tris {
+		if m.tris[i].alive {
+			live = append(live, int32(i))
+		}
+	}
+	for s := 0; s < samples && len(live) > 0 && len(m.pts) > 4; s++ {
+		t := live[rng.Intn(len(live))]
+		tv := m.tris[t].v
+		p := m.pts[3+rng.Intn(len(m.pts)-3)]
+		if p == m.pts[tv[0]] || p == m.pts[tv[1]] || p == m.pts[tv[2]] {
+			continue
+		}
+		if geom.InCircumcircle(m.pts[tv[0]], m.pts[tv[1]], m.pts[tv[2]], p) {
+			return fmt.Errorf("mesh: Delaunay violation at triangle %d", t)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,297 @@
+package parallel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/lp"
+	"repro/internal/partition"
+)
+
+func testWorld(t *testing.T, p int) *comm.World {
+	t.Helper()
+	w, err := comm.NewWorld(p, comm.CM5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// solveParallel runs SolveLP on a world of the given size and returns rank
+// 0's solution.
+func solveParallel(t *testing.T, ranks int, prob *lp.Problem) *lp.Solution {
+	t.Helper()
+	w := testWorld(t, ranks)
+	sols := make([]*lp.Solution, ranks)
+	err := w.Run(func(c *comm.Comm) error {
+		sol, err := SolveLP(c, prob)
+		if err != nil {
+			return err
+		}
+		sols[c.Rank()] = sol
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < ranks; r++ {
+		if sols[r].Status != sols[0].Status {
+			t.Fatalf("rank %d status %v != rank 0 %v", r, sols[r].Status, sols[0].Status)
+		}
+		if sols[r].Status == lp.Optimal && math.Abs(sols[r].Objective-sols[0].Objective) > 1e-9 {
+			t.Fatalf("rank %d objective %g != rank 0 %g", r, sols[r].Objective, sols[0].Objective)
+		}
+	}
+	return sols[0]
+}
+
+func TestSolveLPMatchesSequential(t *testing.T) {
+	// max 3x+2y s.t. x+y<=4, x+3y<=6 → 12.
+	p := lp.NewProblem(lp.Maximize, 2)
+	p.SetObjective(0, 3)
+	p.SetObjective(1, 2)
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}, {Var: 1, Coef: 1}}, lp.LE, 4)
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}, {Var: 1, Coef: 3}}, lp.LE, 6)
+	for _, ranks := range []int{1, 2, 3, 5} {
+		sol := solveParallel(t, ranks, p)
+		if sol.Status != lp.Optimal || math.Abs(sol.Objective-12) > 1e-8 {
+			t.Fatalf("ranks=%d: %v obj %g, want optimal 12", ranks, sol.Status, sol.Objective)
+		}
+	}
+}
+
+func TestSolveLPInfeasibleAndUnbounded(t *testing.T) {
+	inf := lp.NewProblem(lp.Minimize, 1)
+	inf.SetObjective(0, 1)
+	inf.AddConstraint([]lp.Term{{Var: 0, Coef: 1}}, lp.LE, 1)
+	inf.AddConstraint([]lp.Term{{Var: 0, Coef: 1}}, lp.GE, 2)
+	if sol := solveParallel(t, 3, inf); sol.Status != lp.Infeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+	unb := lp.NewProblem(lp.Maximize, 1)
+	unb.SetObjective(0, 1)
+	unb.AddConstraint([]lp.Term{{Var: 0, Coef: 1}}, lp.GE, 1)
+	if sol := solveParallel(t, 3, unb); sol.Status != lp.Unbounded {
+		t.Fatalf("status %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveLPRandomAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	dense := lp.Dense{}
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(4)
+		p := lp.NewProblem(lp.Minimize, n)
+		for v := 0; v < n; v++ {
+			p.SetObjective(v, float64(rng.Intn(9)-4))
+			p.SetUpper(v, float64(1+rng.Intn(7)))
+		}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			var terms []lp.Term
+			for v := 0; v < n; v++ {
+				if cf := rng.Intn(5) - 2; cf != 0 {
+					terms = append(terms, lp.Term{Var: v, Coef: float64(cf)})
+				}
+			}
+			if len(terms) == 0 {
+				terms = []lp.Term{{Var: 0, Coef: 1}}
+			}
+			p.AddConstraint(terms, []lp.Rel{lp.LE, lp.GE, lp.EQ}[rng.Intn(3)], float64(rng.Intn(11)-3))
+		}
+		want, err := dense.Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := solveParallel(t, 4, p)
+		if got.Status != want.Status {
+			t.Fatalf("trial %d: parallel %v vs dense %v", trial, got.Status, want.Status)
+		}
+		if want.Status == lp.Optimal {
+			if math.Abs(got.Objective-want.Objective) > 1e-6 {
+				t.Fatalf("trial %d: parallel obj %g vs dense %g", trial, got.Objective, want.Objective)
+			}
+			if err := lp.CheckFeasible(p, got.X, 1e-6); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}
+
+// grownGrid mirrors the core package's test workload.
+func grownGrid(rows, cols, p, extra int, rng *rand.Rand) (*graph.Graph, *partition.Assignment) {
+	g := graph.Grid(rows, cols)
+	a := partition.New(g.Order(), p)
+	w := cols / p
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			q := c / w
+			if q >= p {
+				q = p - 1
+			}
+			a.Part[r*cols+c] = int32(q)
+		}
+	}
+	attach := make([]graph.Vertex, 0, 2*rows)
+	for r := 0; r < rows; r++ {
+		attach = append(attach, graph.Vertex(r*cols+cols-1), graph.Vertex(r*cols+cols-2))
+	}
+	prev := attach
+	for k := 0; k < extra; k++ {
+		v := g.AddVertex(1)
+		_ = g.AddEdge(v, prev[rng.Intn(len(prev))], 1)
+		prev = append(prev, v)
+	}
+	return g, a
+}
+
+func TestParallelRepartitionBalances(t *testing.T) {
+	for _, ranks := range []int{1, 2, 4} {
+		rng := rand.New(rand.NewSource(13))
+		g, a := grownGrid(8, 16, 4, 24, rng)
+		w := testWorld(t, ranks)
+		res, err := Repartition(w, g, a, Options{Refine: true})
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if err := a.Validate(g); err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		sizes := a.Sizes(g)
+		targets := partition.Targets(g.NumVertices(), 4)
+		for q := range sizes {
+			if sizes[q] != targets[q] {
+				t.Fatalf("ranks=%d: sizes %v != targets %v", ranks, sizes, targets)
+			}
+		}
+		if res.SimTime <= 0 {
+			t.Fatalf("ranks=%d: no simulated time", ranks)
+		}
+		if ranks > 1 && res.Messages == 0 {
+			t.Fatalf("ranks=%d: no messages recorded", ranks)
+		}
+	}
+}
+
+func TestParallelMatchesAcrossRankCounts(t *testing.T) {
+	// The SPMD computation must produce the same assignment regardless of
+	// how many ranks execute it (ownership only affects cost accounting
+	// and message routes, not decisions).
+	results := make([][]int32, 0, 3)
+	for _, ranks := range []int{1, 2, 4} {
+		rng := rand.New(rand.NewSource(17))
+		g, a := grownGrid(6, 12, 4, 16, rng)
+		w := testWorld(t, ranks)
+		if _, err := Repartition(w, g, a, Options{Refine: true}); err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		results = append(results, append([]int32(nil), a.Part...))
+	}
+	for i := 1; i < len(results); i++ {
+		for v := range results[0] {
+			if results[i][v] != results[0][v] {
+				t.Fatalf("assignment diverges at vertex %d between rank counts", v)
+			}
+		}
+	}
+}
+
+func TestParallelSpeedupShape(t *testing.T) {
+	// More ranks must reduce the simulated makespan on a big-enough
+	// problem (the paper's speedup claim, in miniature).
+	rng := rand.New(rand.NewSource(23))
+	g, a0 := grownGrid(16, 32, 8, 64, rng)
+
+	times := map[int]float64{}
+	for _, ranks := range []int{1, 8} {
+		a := a0.Clone()
+		w := testWorld(t, ranks)
+		res, err := Repartition(w, g, a, Options{Refine: true})
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		times[ranks] = res.SimTime.Seconds()
+	}
+	speedup := times[1] / times[8]
+	if speedup < 1.5 {
+		t.Fatalf("8-rank simulated speedup %.2f, want > 1.5 (T1=%gs T8=%gs)",
+			speedup, times[1], times[8])
+	}
+}
+
+func TestParallelOrphanClusters(t *testing.T) {
+	g := graph.Path(6)
+	v1 := g.AddVertex(1)
+	v2 := g.AddVertex(1)
+	_ = g.AddEdge(v1, v2, 1)
+	a := partition.New(6, 2)
+	a.Part = []int32{0, 0, 0, 1, 1, 1}
+	w := testWorld(t, 2)
+	if _, err := Repartition(w, g, a, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Part[v1] < 0 || a.Part[v1] != a.Part[v2] {
+		t.Fatalf("orphan cluster split: %d vs %d", a.Part[v1], a.Part[v2])
+	}
+	if !partition.Balanced(a.Sizes(g)) {
+		t.Fatalf("unbalanced: %v", a.Sizes(g))
+	}
+}
+
+// paperPairs mirrors the lp package's Figure-5 variable layout.
+var paperPairs = [][2]int{
+	{0, 1}, {0, 2}, {0, 3}, {1, 0}, {1, 2},
+	{2, 0}, {2, 1}, {2, 3}, {3, 0}, {3, 2},
+}
+
+func paperLP(maximize bool, upper []float64, surplus []float64) *lp.Problem {
+	sense := lp.Minimize
+	if maximize {
+		sense = lp.Maximize
+	}
+	p := lp.NewProblem(sense, len(paperPairs))
+	for v := range paperPairs {
+		p.SetObjective(v, 1)
+		p.SetUpper(v, upper[v])
+	}
+	for j := 0; j < 4; j++ {
+		var terms []lp.Term
+		for v, pr := range paperPairs {
+			if pr[0] == j {
+				terms = append(terms, lp.Term{Var: v, Coef: 1})
+			}
+			if pr[1] == j {
+				terms = append(terms, lp.Term{Var: v, Coef: -1})
+			}
+		}
+		p.AddConstraint(terms, lp.EQ, surplus[j])
+	}
+	return p
+}
+
+func TestSolveLPPaperFigure5(t *testing.T) {
+	prob := paperLP(false,
+		[]float64{9, 7, 12, 10, 11, 3, 7, 9, 7, 5},
+		[]float64{8, 1, -1, -8})
+	for _, ranks := range []int{1, 3, 8} {
+		sol := solveParallel(t, ranks, prob)
+		if sol.Status != lp.Optimal || math.Abs(sol.Objective-9) > 1e-8 {
+			t.Fatalf("ranks=%d: %v obj %g, want optimal 9", ranks, sol.Status, sol.Objective)
+		}
+	}
+}
+
+func TestSolveLPPaperFigure8(t *testing.T) {
+	prob := paperLP(true,
+		[]float64{1, 1, 1, 2, 1, 0, 1, 1, 2, 1},
+		[]float64{0, 0, 0, 0})
+	for _, ranks := range []int{1, 4} {
+		sol := solveParallel(t, ranks, prob)
+		// True optimum of the printed LP is 9 (see lp package tests).
+		if sol.Status != lp.Optimal || math.Abs(sol.Objective-9) > 1e-8 {
+			t.Fatalf("ranks=%d: %v obj %g, want optimal 9", ranks, sol.Status, sol.Objective)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package partition defines the partition-assignment representation and
+// the quality metrics the paper reports: cutset totals, per-partition
+// boundary costs (the table's Max/Min columns), partition weights, and
+// load imbalance.
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Unassigned marks vertices with no partition (dead slots, or new vertices
+// before the assign phase).
+const Unassigned int32 = -1
+
+// Assignment maps each vertex slot to a partition in [0, P), or
+// Unassigned. It deliberately stays a thin value type: algorithms pass and
+// copy it freely.
+type Assignment struct {
+	Part []int32
+	P    int
+}
+
+// New returns an all-Unassigned assignment for n vertex slots and p parts.
+func New(n, p int) *Assignment {
+	a := &Assignment{Part: make([]int32, n), P: p}
+	for i := range a.Part {
+		a.Part[i] = Unassigned
+	}
+	return a
+}
+
+// Clone deep-copies the assignment.
+func (a *Assignment) Clone() *Assignment {
+	return &Assignment{Part: append([]int32(nil), a.Part...), P: a.P}
+}
+
+// Grow extends the assignment with Unassigned slots to cover n vertices.
+func (a *Assignment) Grow(n int) {
+	for len(a.Part) < n {
+		a.Part = append(a.Part, Unassigned)
+	}
+}
+
+// Of returns the partition of v, or Unassigned when out of range.
+func (a *Assignment) Of(v graph.Vertex) int32 {
+	if int(v) >= len(a.Part) {
+		return Unassigned
+	}
+	return a.Part[v]
+}
+
+// Validate checks that every live vertex of g has a partition in [0, P)
+// and that dead slots are Unassigned.
+func (a *Assignment) Validate(g *graph.Graph) error {
+	if len(a.Part) < g.Order() {
+		return fmt.Errorf("partition: assignment covers %d slots, graph has %d", len(a.Part), g.Order())
+	}
+	for v := 0; v < g.Order(); v++ {
+		p := a.Part[v]
+		if g.Alive(graph.Vertex(v)) {
+			if p < 0 || int(p) >= a.P {
+				return fmt.Errorf("partition: live vertex %d has partition %d (P=%d)", v, p, a.P)
+			}
+		} else if p != Unassigned {
+			return fmt.Errorf("partition: dead vertex %d has partition %d", v, p)
+		}
+	}
+	return nil
+}
+
+// Weights returns the total vertex weight of each partition. Vertices
+// beyond the assignment's coverage count as Unassigned.
+func (a *Assignment) Weights(g *graph.Graph) []float64 {
+	w := make([]float64, a.P)
+	for _, v := range g.Vertices() {
+		if p := a.Of(v); p >= 0 {
+			w[p] += g.VertexWeight(v)
+		}
+	}
+	return w
+}
+
+// Sizes returns the live-vertex count of each partition. Vertices beyond
+// the assignment's coverage count as Unassigned.
+func (a *Assignment) Sizes(g *graph.Graph) []int {
+	s := make([]int, a.P)
+	for _, v := range g.Vertices() {
+		if p := a.Of(v); p >= 0 {
+			s[p]++
+		}
+	}
+	return s
+}
+
+// CutStats aggregates the paper's cutset columns.
+type CutStats struct {
+	// Total is the number of cut edges (each counted once) — the table's
+	// "Total" column.
+	Total int
+	// TotalWeight is the summed weight of cut edges.
+	TotalWeight float64
+	// PerPart[q] is C(q): the weight of edges leaving partition q. The
+	// table's Max and Min columns are the extremes of this vector.
+	PerPart []float64
+	// Max and Min are the extremes of PerPart over non-empty partitions.
+	Max, Min float64
+}
+
+// Cut computes cutset statistics for assignment a on graph g. Vertices
+// that are Unassigned (including any beyond the assignment's coverage)
+// contribute no cut edges.
+func Cut(g *graph.Graph, a *Assignment) CutStats {
+	st := CutStats{PerPart: make([]float64, a.P)}
+	for _, v := range g.Vertices() {
+		pv := a.Of(v)
+		if pv < 0 {
+			continue
+		}
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			pu := a.Of(u)
+			if pu < 0 || pu == pv {
+				continue
+			}
+			st.PerPart[pv] += ws[i]
+			if v < u {
+				st.Total++
+				st.TotalWeight += ws[i]
+			}
+		}
+	}
+	st.Max = math.Inf(-1)
+	st.Min = math.Inf(1)
+	empty := true
+	sizes := a.Sizes(g)
+	for q := 0; q < a.P; q++ {
+		if sizes[q] == 0 {
+			continue
+		}
+		empty = false
+		if st.PerPart[q] > st.Max {
+			st.Max = st.PerPart[q]
+		}
+		if st.PerPart[q] < st.Min {
+			st.Min = st.PerPart[q]
+		}
+	}
+	if empty {
+		st.Max, st.Min = 0, 0
+	}
+	return st
+}
+
+// Imbalance returns max(weight)/mean(weight) over partitions; 1.0 is
+// perfectly balanced. An assignment with an empty partition still gets a
+// finite value (its max is over the others).
+func Imbalance(g *graph.Graph, a *Assignment) float64 {
+	w := a.Weights(g)
+	var sum, max float64
+	for _, x := range w {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := sum / float64(a.P)
+	return max / mean
+}
+
+// Targets distributes total integer load n over p partitions as evenly as
+// possible: the first n%p partitions get ⌈n/p⌉, the rest ⌊n/p⌋. These are
+// the balance-LP right-hand sides (the paper's per-partition average μ,
+// made integral).
+func Targets(n, p int) []int {
+	t := make([]int, p)
+	q, r := n/p, n%p
+	for i := range t {
+		t[i] = q
+		if i < r {
+			t[i]++
+		}
+	}
+	return t
+}
+
+// Balanced reports whether partition sizes match some Targets(n,p)
+// distribution, i.e. max−min ≤ 1 over all partitions.
+func Balanced(sizes []int) bool {
+	if len(sizes) == 0 {
+		return true
+	}
+	mn, mx := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < mn {
+			mn = s
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx-mn <= 1
+}

@@ -1,0 +1,286 @@
+// Package refine implements the paper's Step 4: cut-reducing vertex
+// movement under exact load preservation. Boundary vertices whose edge
+// count toward a foreign partition j is at least their internal edge count
+// are candidates b(i,j); the LP
+//
+//	maximize   Σ l(i,j)
+//	subject to 0 ≤ l(i,j) ≤ b(i,j)
+//	           outflow(j) − inflow(j) = 0      for every j
+//
+// moves as many of them as possible without disturbing partition sizes.
+// The step is iterated; after a configurable number of rounds the
+// candidate test switches from ≥ to > (the paper's "strict inequality"
+// guard against vertices with zero net gain oscillating between
+// partitions).
+package refine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/lp"
+	"repro/internal/partition"
+)
+
+// Candidates holds the per-pair movable vertex pools of one refinement
+// round.
+type Candidates struct {
+	P int
+	// B[i][j] = b(i,j): number of candidate vertices in partition i whose
+	// move to j does not increase (loose) or strictly decreases (strict)
+	// the cut.
+	B [][]int
+	// pools[i][j] lists those candidates, best gain first.
+	pools [][][]graph.Vertex
+	// Gain[v] is out(v, best j) − in(v) for bookkeeping (0 for
+	// non-candidates).
+	Gain []float64
+}
+
+// Pool returns the candidates for the (i,j) pair, best gain first.
+func (c *Candidates) Pool(i, j int32) []graph.Vertex { return c.pools[i][j] }
+
+// Gains scans all boundary vertices and builds the candidate pools.
+// strict selects the > 0 test instead of ≥ 0.
+func Gains(g *graph.Graph, a *partition.Assignment, strict bool) (*Candidates, error) {
+	if err := a.Validate(g); err != nil {
+		return nil, fmt.Errorf("refine: %w", err)
+	}
+	p := a.P
+	c := &Candidates{
+		P:     p,
+		B:     make([][]int, p),
+		pools: make([][][]graph.Vertex, p),
+		Gain:  make([]float64, g.Order()),
+	}
+	for i := 0; i < p; i++ {
+		c.B[i] = make([]int, p)
+		c.pools[i] = make([][]graph.Vertex, p)
+	}
+	type cand struct {
+		v    graph.Vertex
+		gain float64
+	}
+	cands := make([][]cand, p*p)
+	out := make([]float64, p)
+	var touched []int32
+	for _, v := range g.Vertices() {
+		pv := a.Part[v]
+		var in float64
+		touched = touched[:0]
+		ws := g.EdgeWeights(v)
+		for k, u := range g.Neighbors(v) {
+			pu := a.Part[u]
+			if pu == pv {
+				in += ws[k]
+				continue
+			}
+			if out[pu] == 0 {
+				touched = append(touched, pu)
+			}
+			out[pu] += ws[k]
+		}
+		// A vertex may qualify toward several foreign partitions; it joins
+		// only the pool of its best one (ties toward the smaller id) so
+		// the pools are disjoint and Apply can realize any LP flow without
+		// moving a vertex twice — which would silently break the balance
+		// the zero-net-flow constraints guarantee.
+		bestJ := int32(-1)
+		var bestGain float64
+		for _, j := range touched {
+			gain := out[j] - in
+			out[j] = 0
+			if gain < 0 || (strict && gain == 0) {
+				continue
+			}
+			if bestJ < 0 || gain > bestGain || (gain == bestGain && j < bestJ) {
+				bestJ, bestGain = j, gain
+			}
+		}
+		if bestJ >= 0 {
+			cands[int(pv)*p+int(bestJ)] = append(cands[int(pv)*p+int(bestJ)], cand{v, bestGain})
+			c.Gain[v] = bestGain
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			cs := cands[i*p+j]
+			if len(cs) == 0 {
+				continue
+			}
+			sort.Slice(cs, func(x, y int) bool {
+				if cs[x].gain != cs[y].gain {
+					return cs[x].gain > cs[y].gain
+				}
+				return cs[x].v < cs[y].v
+			})
+			pool := make([]graph.Vertex, len(cs))
+			for k, cd := range cs {
+				pool[k] = cd.v
+			}
+			c.pools[i][j] = pool
+			c.B[i][j] = len(pool)
+		}
+	}
+	return c, nil
+}
+
+// Formulate builds the refinement LP over pairs with b(i,j) > 0.
+func Formulate(c *Candidates) (*lp.Problem, [][2]int32) {
+	var pairs [][2]int32
+	for i := 0; i < c.P; i++ {
+		for j := 0; j < c.P; j++ {
+			if i != j && c.B[i][j] > 0 {
+				pairs = append(pairs, [2]int32{int32(i), int32(j)})
+			}
+		}
+	}
+	prob := lp.NewProblem(lp.Maximize, len(pairs))
+	prob.Names = make([]string, len(pairs))
+	for v, pr := range pairs {
+		prob.SetObjective(v, 1)
+		prob.SetUpper(v, float64(c.B[pr[0]][pr[1]]))
+		prob.Names[v] = fmt.Sprintf("l(%d,%d)", pr[0], pr[1])
+	}
+	for j := 0; j < c.P; j++ {
+		var terms []lp.Term
+		for v, pr := range pairs {
+			if int(pr[0]) == j {
+				terms = append(terms, lp.Term{Var: v, Coef: 1})
+			}
+			if int(pr[1]) == j {
+				terms = append(terms, lp.Term{Var: v, Coef: -1})
+			}
+		}
+		if len(terms) > 0 {
+			prob.AddConstraint(terms, lp.EQ, 0)
+		}
+	}
+	return prob, pairs
+}
+
+// Apply moves the best-gain prefix of each pair's pool per the LP flows,
+// returning the number of vertices moved.
+func Apply(a *partition.Assignment, c *Candidates, pairs [][2]int32, x []float64) (int, error) {
+	moved := 0
+	for v, amt := range x {
+		r := math.Round(amt)
+		if math.Abs(amt-r) > 1e-6 {
+			return moved, fmt.Errorf("refine: non-integral flow %g for pair %v", amt, pairs[v])
+		}
+		k := int(r)
+		if k == 0 {
+			continue
+		}
+		pool := c.Pool(pairs[v][0], pairs[v][1])
+		if k > len(pool) {
+			return moved, fmt.Errorf("refine: flow %d exceeds pool %d for pair %v", k, len(pool), pairs[v])
+		}
+		for _, vert := range pool[:k] {
+			if a.Part[vert] != pairs[v][0] {
+				return moved, fmt.Errorf("refine: vertex %d moved twice in one round", vert)
+			}
+			a.Part[vert] = pairs[v][1]
+			moved++
+		}
+	}
+	return moved, nil
+}
+
+// Options configures the iterative refinement driver.
+type Options struct {
+	// MaxRounds caps LP refinement rounds (0 = default 8).
+	MaxRounds int
+	// StrictAfter switches the candidate test to strict inequality after
+	// this many rounds (0 = default 2; the paper recommends the switch
+	// "after a few steps").
+	StrictAfter int
+	// Solver picks the simplex implementation (nil = lp.Bounded).
+	Solver lp.Solver
+}
+
+func (o Options) rounds() int {
+	if o.MaxRounds <= 0 {
+		return 8
+	}
+	return o.MaxRounds
+}
+
+func (o Options) strictAfter() int {
+	if o.StrictAfter <= 0 {
+		return 2
+	}
+	return o.StrictAfter
+}
+
+func (o Options) solver() lp.Solver {
+	if o.Solver == nil {
+		return lp.Bounded{}
+	}
+	return o.Solver
+}
+
+// Stats reports what the refinement driver did.
+type Stats struct {
+	Rounds     int
+	Moved      int
+	CutBefore  float64
+	CutAfter   float64
+	LPVars     int // columns of the largest round's dense formulation
+	LPCons     int
+	Iterations int // total simplex pivots
+}
+
+// Refine iteratively improves the cut of assignment a without changing
+// partition sizes. It modifies a in place and keeps the best assignment
+// seen, so the result never has a worse cut than the input.
+func Refine(g *graph.Graph, a *partition.Assignment, opt Options) (*Stats, error) {
+	st := &Stats{}
+	st.CutBefore = partition.Cut(g, a).TotalWeight
+	best := a.Clone()
+	bestCut := st.CutBefore
+	cur := st.CutBefore
+	for round := 0; round < opt.rounds(); round++ {
+		strict := round >= opt.strictAfter()
+		cands, err := Gains(g, a, strict)
+		if err != nil {
+			return st, err
+		}
+		prob, pairs := Formulate(cands)
+		if len(pairs) == 0 {
+			break
+		}
+		if v, c := lp.DenseSize(prob); v > st.LPVars {
+			st.LPVars, st.LPCons = v, c
+		}
+		sol, err := opt.solver().Solve(prob)
+		if err != nil {
+			return st, fmt.Errorf("refine: %w", err)
+		}
+		st.Iterations += sol.Iterations
+		if sol.Status != lp.Optimal || sol.Objective < 0.5 {
+			break
+		}
+		moved, err := Apply(a, cands, pairs, sol.X)
+		if err != nil {
+			return st, err
+		}
+		st.Rounds++
+		st.Moved += moved
+		cur = partition.Cut(g, a).TotalWeight
+		if cur < bestCut {
+			bestCut = cur
+			best = a.Clone()
+		}
+		if moved == 0 {
+			break
+		}
+	}
+	if cur > bestCut {
+		copy(a.Part, best.Part)
+	}
+	st.CutAfter = bestCut
+	return st, nil
+}

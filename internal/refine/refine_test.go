@@ -1,0 +1,230 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/lp"
+	"repro/internal/partition"
+)
+
+// jaggedStripes builds a 6×6 grid split into two halves with a deliberately
+// jagged boundary that refinement should straighten.
+func jaggedStripes() (*graph.Graph, *partition.Assignment) {
+	g := graph.Grid(6, 6)
+	a := partition.New(g.Order(), 2)
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 6; c++ {
+			p := int32(0)
+			if c >= 3 {
+				p = 1
+			}
+			a.Part[r*6+c] = p
+		}
+	}
+	// Poke a zig-zag: swap two vertices across the boundary.
+	a.Part[2*6+2] = 1 // (2,2) joins right
+	a.Part[3*6+3] = 0 // (3,3) joins left
+	return g, a
+}
+
+func TestGainsBasic(t *testing.T) {
+	g, a := jaggedStripes()
+	c, err := Gains(g, a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two swapped vertices are surrounded by the other side: they are
+	// strict candidates to move back.
+	if c.Gain[2*6+2] <= 0 {
+		t.Fatalf("vertex (2,2) gain = %g, want > 0", c.Gain[2*6+2])
+	}
+	if c.Gain[3*6+3] <= 0 {
+		t.Fatalf("vertex (3,3) gain = %g, want > 0", c.Gain[3*6+3])
+	}
+	if c.B[1][0] == 0 || c.B[0][1] == 0 {
+		t.Fatalf("B = %v, want candidates both ways", c.B)
+	}
+}
+
+func TestGainsStrictSubset(t *testing.T) {
+	g, a := jaggedStripes()
+	loose, err := Gains(g, a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := Gains(g, a, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if strict.B[i][j] > loose.B[i][j] {
+				t.Fatalf("strict B[%d][%d]=%d exceeds loose %d", i, j, strict.B[i][j], loose.B[i][j])
+			}
+		}
+	}
+}
+
+func TestRefineStraightensBoundary(t *testing.T) {
+	g, a := jaggedStripes()
+	before := partition.Cut(g, a)
+	sizesBefore := a.Sizes(g)
+	st, err := Refine(g, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := partition.Cut(g, a)
+	if after.TotalWeight >= before.TotalWeight {
+		t.Fatalf("cut %g → %g, want improvement", before.TotalWeight, after.TotalWeight)
+	}
+	// The ideal straight boundary cuts 6 edges.
+	if after.Total != 6 {
+		t.Fatalf("refined cut = %d, want 6", after.Total)
+	}
+	sizesAfter := a.Sizes(g)
+	for i := range sizesBefore {
+		if sizesBefore[i] != sizesAfter[i] {
+			t.Fatalf("refinement changed sizes %v → %v", sizesBefore, sizesAfter)
+		}
+	}
+	if st.Moved == 0 || st.Rounds == 0 {
+		t.Fatalf("stats %+v, want movement", st)
+	}
+	if st.CutAfter != 6 || st.CutBefore != float64(before.TotalWeight) {
+		t.Fatalf("stats cut %g→%g inconsistent", st.CutBefore, st.CutAfter)
+	}
+}
+
+func TestRefineNeverWorsens(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 4+rng.Intn(4), 4+rng.Intn(4)
+		g := graph.Grid(rows, cols)
+		p := 2 + rng.Intn(3)
+		if g.NumVertices() < p {
+			return true
+		}
+		a := partition.New(g.Order(), p)
+		for v := 0; v < g.Order(); v++ {
+			a.Part[v] = int32(rng.Intn(p))
+		}
+		before := partition.Cut(g, a).TotalWeight
+		sizesBefore := a.Sizes(g)
+		st, err := Refine(g, a, Options{MaxRounds: 4})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		after := partition.Cut(g, a).TotalWeight
+		if after > before {
+			return false
+		}
+		if st.CutAfter != after {
+			return false
+		}
+		sizesAfter := a.Sizes(g)
+		for i := range sizesBefore {
+			if sizesBefore[i] != sizesAfter[i] {
+				return false
+			}
+		}
+		return a.Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineSolverChoiceEquivalent(t *testing.T) {
+	for _, s := range []lp.Solver{lp.Dense{}, lp.Bounded{}, lp.Revised{}} {
+		g, a := jaggedStripes()
+		_, err := Refine(g, a, Options{Solver: s})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if cut := partition.Cut(g, a); cut.Total != 6 {
+			t.Fatalf("%s: cut %d, want 6", s.Name(), cut.Total)
+		}
+	}
+}
+
+func TestGreedyImprovesJaggedBoundary(t *testing.T) {
+	g, a := jaggedStripes()
+	before := partition.Cut(g, a).TotalWeight
+	moved := Greedy(g, a, 0, 1)
+	after := partition.Cut(g, a).TotalWeight
+	if moved == 0 {
+		t.Fatal("greedy should move the two stranded vertices")
+	}
+	if after >= before {
+		t.Fatalf("greedy cut %g → %g, want improvement", before, after)
+	}
+	if !partition.Balanced(a.Sizes(g)) {
+		t.Fatalf("greedy broke balance: %v", a.Sizes(g))
+	}
+}
+
+func TestGreedyRespectsBalanceGuard(t *testing.T) {
+	// After Greedy with skew s, every partition's size stays within
+	// [min(before, target−s), max(before, target+s)]: a partition already
+	// outside the band is never pushed further out.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.Grid(5, 5)
+		p := 2
+		a := partition.New(g.Order(), p)
+		for v := 0; v < g.Order(); v++ {
+			a.Part[v] = int32(rng.Intn(p))
+		}
+		before := a.Sizes(g)
+		targets := partition.Targets(g.NumVertices(), p)
+		skew := 1
+		Greedy(g, a, 0, skew)
+		after := a.Sizes(g)
+		for q := 0; q < p; q++ {
+			lo := min(before[q], targets[q]-skew)
+			hi := max(before[q], targets[q]+skew)
+			if after[q] < lo || after[q] > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyRejectsDoubleMove(t *testing.T) {
+	g, a := jaggedStripes()
+	c, err := Gains(g, a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pairs := Formulate(c)
+	// Construct a bogus flow exceeding a pool.
+	x := make([]float64, len(pairs))
+	for i, pr := range pairs {
+		x[i] = float64(c.B[pr[0]][pr[1]] + 5)
+	}
+	if _, err := Apply(a, c, pairs, x); err == nil {
+		t.Fatal("over-pool flow must error")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,292 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/partition"
+)
+
+func TestFiedlerPathMonotone(t *testing.T) {
+	// The Fiedler vector of a path is a discrete cosine: strictly monotone
+	// along the path.
+	g := graph.Path(20)
+	f, err := Fiedler(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, dec := true, true
+	for i := 1; i < 20; i++ {
+		if f[i] <= f[i-1] {
+			inc = false
+		}
+		if f[i] >= f[i-1] {
+			dec = false
+		}
+	}
+	if !inc && !dec {
+		t.Fatalf("fiedler of path not monotone: %v", f)
+	}
+}
+
+func TestFiedlerOrthogonalToOnes(t *testing.T) {
+	g := graph.Grid(6, 6)
+	f, err := Fiedler(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s float64
+	for _, x := range f {
+		s += x
+	}
+	if math.Abs(s) > 1e-6 {
+		t.Fatalf("sum of fiedler entries = %g, want ~0", s)
+	}
+	if math.Abs(la.Norm2(f)-1) > 1e-8 {
+		t.Fatalf("fiedler norm = %g, want 1", la.Norm2(f))
+	}
+}
+
+func TestFiedlerMatchesDenseEigensolver(t *testing.T) {
+	// Compare the Rayleigh quotient of the Lanczos Fiedler vector against
+	// the exact λ2 from the Jacobi oracle on a small graph.
+	rng := rand.New(rand.NewSource(4))
+	g, err := graph.RandomGNM(24, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph.EnsureConnected(g)
+	n := g.Order()
+	lap := make([][]float64, n)
+	for i := range lap {
+		lap[i] = make([]float64, n)
+	}
+	for _, v := range g.Vertices() {
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			lap[v][u] -= ws[i]
+			lap[v][v] += ws[i]
+		}
+	}
+	vals, _, err := la.Jacobi(lap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda2 := vals[1]
+	f, err := Fiedler(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rayleigh quotient f'Lf should approximate λ2.
+	y := make([]float64, n)
+	for i := range lap {
+		var s float64
+		for j, v := range lap[i] {
+			s += v * f[j]
+		}
+		y[i] = s
+	}
+	rq := la.Dot(f, y)
+	if math.Abs(rq-lambda2) > 1e-5*(1+math.Abs(lambda2)) {
+		t.Fatalf("rayleigh quotient %g vs exact λ2 %g", rq, lambda2)
+	}
+}
+
+func TestFiedlerErrors(t *testing.T) {
+	g := graph.NewWithVertices(1)
+	if _, err := Fiedler(g, Options{}); err == nil {
+		t.Fatal("single vertex should error")
+	}
+}
+
+func TestBisectGridHalves(t *testing.T) {
+	g := graph.Grid(8, 8)
+	a, b, err := Bisect(g, 32, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 32 || len(b) != 32 {
+		t.Fatalf("sides %d/%d, want 32/32", len(a), len(b))
+	}
+	// A spectral bisection of a square grid should cut ~8 edges (a
+	// straight line); allow generous slack but reject garbage cuts.
+	asg := partition.New(g.Order(), 2)
+	for _, v := range a {
+		asg.Part[v] = 0
+	}
+	for _, v := range b {
+		asg.Part[v] = 1
+	}
+	cut := partition.Cut(g, asg)
+	if cut.Total > 16 {
+		t.Fatalf("grid bisection cut %d edges, want <= 16", cut.Total)
+	}
+}
+
+func TestBisectUnevenTarget(t *testing.T) {
+	g := graph.Grid(6, 6) // 36 vertices
+	a, b, err := Bisect(g, 12, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 12 || len(b) != 24 {
+		t.Fatalf("sides %d/%d, want 12/24", len(a), len(b))
+	}
+}
+
+func TestBisectDisconnectedComponents(t *testing.T) {
+	// Two disjoint grids: bisect should separate them without cutting.
+	g := graph.Grid(4, 4)
+	// Add a second 4x4 grid as vertices 16..31.
+	for i := 0; i < 16; i++ {
+		g.AddVertex(1)
+	}
+	id := func(r, c int) graph.Vertex { return graph.Vertex(16 + r*4 + c) }
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if c+1 < 4 {
+				_ = g.AddEdge(id(r, c), id(r, c+1), 1)
+			}
+			if r+1 < 4 {
+				_ = g.AddEdge(id(r, c), id(r+1, c), 1)
+			}
+		}
+	}
+	a, b, err := Bisect(g, 16, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("sides %d/%d, want 16/16", len(a), len(b))
+	}
+	asg := partition.New(g.Order(), 2)
+	for _, v := range a {
+		asg.Part[v] = 0
+	}
+	for _, v := range b {
+		asg.Part[v] = 1
+	}
+	if cut := partition.Cut(g, asg); cut.Total != 0 {
+		t.Fatalf("disconnected bisection cut %d edges, want 0", cut.Total)
+	}
+}
+
+func TestRSBGrid(t *testing.T) {
+	g := graph.Grid(8, 8)
+	for _, p := range []int{2, 4, 8, 16} {
+		part, err := RSB(g, p, Options{})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		a := &partition.Assignment{Part: part, P: p}
+		if err := a.Validate(g); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		sizes := a.Sizes(g)
+		if !partition.Balanced(sizes) {
+			t.Fatalf("p=%d: sizes %v not balanced", p, sizes)
+		}
+	}
+}
+
+func TestRSBNonPowerOfTwo(t *testing.T) {
+	g := graph.Grid(9, 7) // 63 vertices
+	part, err := RSB(g, 7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &partition.Assignment{Part: part, P: 7}
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	sizes := a.Sizes(g)
+	for q, s := range sizes {
+		if s != 9 {
+			t.Fatalf("partition %d has %d vertices, want 9 (sizes %v)", q, s, sizes)
+		}
+	}
+}
+
+func TestRSBErrors(t *testing.T) {
+	g := graph.Grid(2, 2)
+	if _, err := RSB(g, 0, Options{}); err == nil {
+		t.Fatal("p=0 should error")
+	}
+	if _, err := RSB(g, 10, Options{}); err == nil {
+		t.Fatal("more parts than vertices should error")
+	}
+}
+
+func TestRSBQualityOnGrid(t *testing.T) {
+	// 16x16 grid into 4 parts: a good partitioner produces quadrant-like
+	// parts with cut close to 2*16 = 32.
+	g := graph.Grid(16, 16)
+	part, err := RSB(g, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &partition.Assignment{Part: part, P: 4}
+	cut := partition.Cut(g, a)
+	if cut.Total > 48 {
+		t.Fatalf("4-way grid cut = %d, want <= 48", cut.Total)
+	}
+	if !partition.Balanced(a.Sizes(g)) {
+		t.Fatalf("unbalanced sizes: %v", a.Sizes(g))
+	}
+}
+
+func TestRSBDeterminism(t *testing.T) {
+	g := graph.Grid(10, 10)
+	p1, err := RSB(g, 8, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := RSB(g, 8, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("RSB with same seed must be deterministic")
+		}
+	}
+}
+
+func TestBisectStraddlingComponent(t *testing.T) {
+	// Regression: a dominant component whose weight is between targetA and
+	// 2×targetA must be split, not dumped whole onto one side.
+	g := graph.Grid(6, 6) // 36-vertex component
+	for i := 0; i < 12; i++ {
+		g.AddVertex(1) // 12 isolated vertices
+	}
+	// targetA = 24: grid (36) straddles it.
+	a, b, err := Bisect(g, 24, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 24 || len(b) != 24 {
+		t.Fatalf("sides %d/%d, want 24/24", len(a), len(b))
+	}
+}
+
+func TestRSBOnStarHeavyGraph(t *testing.T) {
+	// Regression: RSB stayed balanced on a mesh with a large attached star
+	// (degenerate Fiedler structure) — the quickstart-example failure.
+	g := graph.Grid(10, 10)
+	hub := graph.Vertex(0)
+	for i := 0; i < 60; i++ {
+		v := g.AddVertex(1)
+		_ = g.AddEdge(v, hub, 1)
+	}
+	part, err := RSB(g, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &partition.Assignment{Part: part, P: 8}
+	if !partition.Balanced(a.Sizes(g)) {
+		t.Fatalf("sizes %v not balanced", a.Sizes(g))
+	}
+}
