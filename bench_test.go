@@ -20,6 +20,7 @@ import (
 	"repro/internal/coarsen"
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/layering"
@@ -304,6 +305,11 @@ func BenchmarkPhase_Assign(b *testing.B) {
 	}
 }
 
+// BenchmarkPhase_Layer measures the steady-state layering cost: a warm
+// engine re-layers an unchanged graph from its tracked boundary, the
+// situation every balancing stage after the first is in. Compare with
+// BenchmarkPhase_LayerOneShot (the seed implementation's behavior) for
+// the allocation and time win.
 func BenchmarkPhase_Layer(b *testing.B) {
 	f := meshA(b)
 	g := f.seq.Steps[0].Graph
@@ -311,9 +317,112 @@ func BenchmarkPhase_Layer(b *testing.B) {
 	if _, _, err := core.Assign(g, a); err != nil {
 		b.Fatal(err)
 	}
+	eng := engine.New(g, engine.Options{})
+	if _, err := eng.Layer(a); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Layer(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhase_LayerOneShot is the one-shot full-scan layering: fresh
+// snapshot, fresh result arrays, every vertex and arc visited for level 0.
+func BenchmarkPhase_LayerOneShot(b *testing.B) {
+	f := meshA(b)
+	g := f.seq.Steps[0].Graph
+	a := f.base.Clone()
+	if _, _, err := core.Assign(g, a); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := layering.Layer(g, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhase_LayerSmallEdit measures the incremental resync path: one
+// edge flip per iteration, then a boundary-seeded re-layer.
+func BenchmarkPhase_LayerSmallEdit(b *testing.B) {
+	f := meshA(b)
+	g := f.seq.Steps[0].Graph.Clone()
+	a := f.base.Clone()
+	if _, _, err := core.Assign(g, a); err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(g, engine.Options{})
+	if _, err := eng.Layer(a); err != nil {
+		b.Fatal(err)
+	}
+	u, v := graph.Vertex(0), graph.Vertex(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.HasEdge(u, v) {
+			_ = g.RemoveEdge(u, v)
+		} else {
+			_ = g.AddEdge(u, v, 1)
+		}
+		if _, err := eng.Layer(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhase_Gains measures the steady-state refinement gain scan
+// (boundary-seeded, warm engine); BenchmarkPhase_GainsOneShot is the full
+// scan with fresh pools.
+func BenchmarkPhase_Gains(b *testing.B) {
+	g, a := unrefined(b)
+	eng := engine.New(g, engine.Options{})
+	if _, err := eng.Gains(a, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Gains(a, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPhase_GainsOneShot(b *testing.B) {
+	g, a := unrefined(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := refine.Gains(g, a, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngine_SteadyRepartition is the end-to-end steady-state cycle:
+// a long-lived engine repartitions after the assignment is reset to the
+// pre-balance state, reusing snapshot, boundary and scratch each time.
+func BenchmarkEngine_SteadyRepartition(b *testing.B) {
+	f := meshA(b)
+	g := f.seq.Steps[0].Graph
+	eng := engine.New(g, engine.Options{})
+	base := f.base.Clone()
+	base.Grow(g.Order())
+	a := base.Clone()
+	if _, err := eng.Repartition(a); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(a.Part, base.Part)
+		if _, err := eng.Repartition(a); err != nil {
 			b.Fatal(err)
 		}
 	}

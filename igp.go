@@ -38,6 +38,7 @@ import (
 	"repro/internal/balance"
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/layering"
 	"repro/internal/lp"
@@ -214,12 +215,12 @@ func RepartitionInBatches(g *Graph, a *Assignment, opt Options, batches int) (*S
 	return repartition(g, a, opt, batches)
 }
 
-func repartition(g *Graph, a *Assignment, opt Options, batches int) (*Stats, error) {
+func (opt Options) coreOptions() (core.Options, error) {
 	solver, err := opt.Solver.solver()
 	if err != nil {
-		return nil, err
+		return core.Options{}, err
 	}
-	copt := core.Options{
+	return core.Options{
 		Solver:     solver,
 		EpsilonMax: opt.EpsilonMax,
 		MaxStages:  opt.MaxStages,
@@ -229,6 +230,32 @@ func repartition(g *Graph, a *Assignment, opt Options, batches int) (*Stats, err
 			MaxRounds: opt.RefineRounds,
 			Solver:    solver,
 		},
+	}, nil
+}
+
+func convertStats(st *core.Stats, elapsed time.Duration) *Stats {
+	out := &Stats{
+		NewAssigned:  st.NewAssigned,
+		Stages:       len(st.Stages),
+		BalanceMoved: st.BalanceMoved,
+		CutBefore:    st.CutBefore,
+		CutAfter:     st.CutAfter,
+		Elapsed:      elapsed,
+	}
+	for _, sg := range st.Stages {
+		out.EpsilonUsed = append(out.EpsilonUsed, sg.Epsilon)
+	}
+	out.LPVars, out.LPCons = st.MaxLPSize()
+	if st.Refine != nil {
+		out.RefineMoved = st.Refine.Moved
+	}
+	return out
+}
+
+func repartition(g *Graph, a *Assignment, opt Options, batches int) (*Stats, error) {
+	copt, err := opt.coreOptions()
+	if err != nil {
+		return nil, err
 	}
 	t0 := time.Now()
 	var st *core.Stats
@@ -240,22 +267,50 @@ func repartition(g *Graph, a *Assignment, opt Options, batches int) (*Stats, err
 	if err != nil {
 		return nil, err
 	}
-	out := &Stats{
-		NewAssigned:  st.NewAssigned,
-		Stages:       len(st.Stages),
-		BalanceMoved: st.BalanceMoved,
-		CutBefore:    st.CutBefore,
-		CutAfter:     st.CutAfter,
-		Elapsed:      time.Since(t0),
+	return convertStats(st, time.Since(t0)), nil
+}
+
+// Engine is a long-lived repartitioner bound to one graph. Unlike the
+// one-shot Repartition function — which rebuilds its derived state on
+// every call — an Engine keeps a flat CSR snapshot of the graph (refreshed
+// only when the graph has actually been edited), maintains the
+// partition-boundary vertex set incrementally from the graph's edit
+// journal, and reuses all phase scratch memory, so steady-state
+// repartitioning after small edits performs near-zero heap allocation.
+//
+// Typical use mirrors an adaptive-mesh application's loop:
+//
+//	eng, _ := igp.NewEngine(g, igp.Options{Refine: true})
+//	for {
+//		// ... the application edits g ...
+//		stats, err := eng.Repartition(a)
+//	}
+//
+// An Engine is not safe for concurrent use.
+type Engine struct {
+	eng *engine.Engine
+}
+
+// NewEngine returns an engine bound to g. The first Repartition call pays
+// a full snapshot build; subsequent calls are incremental.
+func NewEngine(g *Graph, opt Options) (*Engine, error) {
+	copt, err := opt.coreOptions()
+	if err != nil {
+		return nil, err
 	}
-	for _, sg := range st.Stages {
-		out.EpsilonUsed = append(out.EpsilonUsed, sg.Epsilon)
+	return &Engine{eng: engine.New(g, copt)}, nil
+}
+
+// Repartition incrementally updates assignment a to cover the engine's
+// graph, exactly like the package-level Repartition but reusing the
+// engine's snapshots and scratch arenas.
+func (e *Engine) Repartition(a *Assignment) (*Stats, error) {
+	t0 := time.Now()
+	st, err := e.eng.Repartition(a)
+	if err != nil {
+		return nil, err
 	}
-	out.LPVars, out.LPCons = st.MaxLPSize()
-	if st.Refine != nil {
-		out.RefineMoved = st.Refine.Moved
-	}
-	return out, nil
+	return convertStats(st, time.Since(t0)), nil
 }
 
 // Cut computes cutset statistics for a on g.

@@ -15,218 +15,45 @@
 //     one-shot LP is infeasible (§2.3, package balance); and
 //  4. optionally reduces the cutset with the zero-net-flow refinement LP
 //     (§2.4, package refine) — the paper's IGPR variant.
+//
+// The phase machinery itself lives in package engine, which owns the
+// long-lived state (CSR snapshots, the incremental boundary set, scratch
+// arenas) that makes repeated repartitioning cheap. This package keeps
+// the one-shot entry points: each Repartition call here builds a fresh
+// engine, so callers that repartition the same graph repeatedly should
+// hold an engine (or the igp.Engine facade) instead.
 package core
 
 import (
-	"errors"
-	"fmt"
-	"time"
-
-	"repro/internal/balance"
+	"repro/internal/engine"
 	"repro/internal/graph"
-	"repro/internal/layering"
-	"repro/internal/lp"
 	"repro/internal/partition"
-	"repro/internal/refine"
 )
 
 // ErrNeedRepartition reports that incremental balancing is impossible
 // (even maximally relaxed LPs stay infeasible). The paper's remedy is to
 // repartition from scratch or add the new vertices in several batches.
-var ErrNeedRepartition = errors.New("core: incremental balance infeasible; repartition from scratch")
+var ErrNeedRepartition = engine.ErrNeedRepartition
 
 // Options configures Repartition.
-type Options struct {
-	// Solver is the simplex implementation (nil = lp.Bounded{}).
-	Solver lp.Solver
-	// EpsilonMax is the paper's upper bound C on the relaxation factor;
-	// stages try ε = 1, 2, … up to it (0 = default 8).
-	EpsilonMax float64
-	// MaxStages caps balancing stages (0 = default 16).
-	MaxStages int
-	// Tolerance allows partition sizes to deviate from their targets by
-	// up to this many vertices (0 = the paper's exact balance). Positive
-	// values trade residual imbalance for less vertex movement.
-	Tolerance int
-	// Refine enables phase 4 (the IGPR variant).
-	Refine bool
-	// RefineOptions tunes phase 4 when enabled.
-	RefineOptions refine.Options
-}
-
-func (o Options) solver() lp.Solver {
-	if o.Solver == nil {
-		return lp.Bounded{}
-	}
-	return o.Solver
-}
-
-func (o Options) epsMax() float64 {
-	if o.EpsilonMax <= 0 {
-		return 8
-	}
-	return o.EpsilonMax
-}
-
-func (o Options) maxStages() int {
-	if o.MaxStages <= 0 {
-		return 16
-	}
-	return o.MaxStages
-}
+type Options = engine.Options
 
 // StageStats records one balancing stage.
-type StageStats struct {
-	Epsilon  float64 // relaxation factor that produced a feasible LP
-	Moved    int     // vertices moved
-	LPVars   int     // dense-formulation columns (the paper's v)
-	LPCons   int     // dense-formulation rows (the paper's c)
-	LPPivots int     // simplex iterations
-	MaxDelta int     // largest δ(i,j) this stage
-}
+type StageStats = engine.StageStats
 
 // Stats reports everything Repartition did; the benchmark harness turns
 // these into the paper's table columns.
-type Stats struct {
-	NewAssigned      int // vertices assigned in phase 1
-	ClusterFallbacks int // disconnected new-vertex clusters placed by size
-	Stages           []StageStats
-	BalanceMoved     int
-	Refine           *refine.Stats // nil unless Options.Refine
-	CutBefore        partition.CutStats
-	CutAfter         partition.CutStats
-	AssignTime       time.Duration
-	LayerTime        time.Duration
-	BalanceTime      time.Duration
-	RefineTime       time.Duration
-}
-
-// TotalTime sums the phase times.
-func (s *Stats) TotalTime() time.Duration {
-	return s.AssignTime + s.LayerTime + s.BalanceTime + s.RefineTime
-}
-
-// MaxLPSize returns the largest (vars, cons) over all balancing stages —
-// the paper's "v = 188 and c = 126" statistic.
-func (s *Stats) MaxLPSize() (vars, cons int) {
-	for _, st := range s.Stages {
-		if st.LPVars > vars {
-			vars, cons = st.LPVars, st.LPCons
-		}
-	}
-	return vars, cons
-}
+type Stats = engine.Stats
 
 // Repartition updates assignment a in place so it covers graph g with
 // balanced partitions and a small cutset, reusing the old partitioning.
 // Vertices beyond a's original coverage — and any vertex explicitly set to
 // partition.Unassigned — are treated as new.
+//
+// This is the one-shot form: it builds a fresh engine per call. Hold an
+// engine.Engine to amortize snapshots and scratch across calls.
 func Repartition(g *graph.Graph, a *partition.Assignment, opt Options) (*Stats, error) {
-	st := &Stats{}
-
-	t0 := time.Now()
-	assigned, fallbacks, err := Assign(g, a)
-	if err != nil {
-		return st, err
-	}
-	st.NewAssigned = assigned
-	st.ClusterFallbacks = fallbacks
-	st.AssignTime = time.Since(t0)
-	st.CutBefore = partition.Cut(g, a)
-
-	targets := partition.Targets(g.NumVertices(), a.P)
-	solver := opt.solver()
-	for stage := 0; stage < opt.maxStages(); stage++ {
-		sizes := a.Sizes(g)
-		if maxAbsDev(sizes, targets) <= opt.Tolerance {
-			break
-		}
-		tL := time.Now()
-		lay, err := layering.Layer(g, a)
-		if err != nil {
-			return st, err
-		}
-		st.LayerTime += time.Since(tL)
-
-		tB := time.Now()
-		stageStat, ok, err := balanceStage(g, a, lay, targets, solver, opt.epsMax(), opt.Tolerance)
-		st.BalanceTime += time.Since(tB)
-		if err != nil {
-			return st, err
-		}
-		if !ok {
-			return st, fmt.Errorf("%w (stage %d, sizes %v)", ErrNeedRepartition, stage, sizes)
-		}
-		st.Stages = append(st.Stages, stageStat)
-		st.BalanceMoved += stageStat.Moved
-		if stageStat.Moved == 0 {
-			// A feasible stage that moved nothing makes no progress: either
-			// the targets are met (checked at the top of the loop) or every
-			// residual surplus rounded to zero under the relaxation — in
-			// both cases iterating further changes nothing.
-			break
-		}
-	}
-	sizes := a.Sizes(g)
-	if maxAbsDev(sizes, targets) > opt.Tolerance {
-		return st, fmt.Errorf("%w (after %d stages, sizes %v)", ErrNeedRepartition, len(st.Stages), sizes)
-	}
-
-	if opt.Refine {
-		tR := time.Now()
-		ro := opt.RefineOptions
-		if ro.Solver == nil {
-			ro.Solver = solver
-		}
-		rst, err := refine.Refine(g, a, ro)
-		st.RefineTime = time.Since(tR)
-		st.Refine = rst
-		if err != nil {
-			return st, err
-		}
-	}
-	st.CutAfter = partition.Cut(g, a)
-	return st, nil
-}
-
-// balanceStage runs one layer→LP→move stage, escalating ε until feasible.
-func balanceStage(g *graph.Graph, a *partition.Assignment, lay *layering.Result, targets []int, solver lp.Solver, epsMax float64, tol int) (StageStats, bool, error) {
-	sizes := a.Sizes(g)
-	for eps := 1.0; eps <= epsMax; eps++ {
-		m, err := balance.FormulateTol(lay.Delta, sizes, targets, eps, tol)
-		if err != nil {
-			return StageStats{}, false, err
-		}
-		flows, sol, err := balance.Solve(m, solver)
-		if err != nil {
-			return StageStats{}, false, err
-		}
-		if sol.Status != lp.Optimal {
-			continue // relax further
-		}
-		moved, err := balance.Apply(a, lay, flows)
-		if err != nil {
-			return StageStats{}, false, err
-		}
-		vars, cons := lp.DenseSize(m.Prob)
-		maxDelta := 0
-		for _, row := range lay.Delta {
-			for _, d := range row {
-				if d > maxDelta {
-					maxDelta = d
-				}
-			}
-		}
-		return StageStats{
-			Epsilon:  eps,
-			Moved:    moved,
-			LPVars:   vars,
-			LPCons:   cons,
-			LPPivots: sol.Iterations,
-			MaxDelta: maxDelta,
-		}, true, nil
-	}
-	return StageStats{}, false, nil
+	return engine.New(g, opt).Repartition(a)
 }
 
 // Assign implements phase 1: every live vertex of g that a leaves
@@ -236,79 +63,5 @@ func balanceStage(g *graph.Graph, a *partition.Assignment, lay *layering.Result,
 // (the paper's fallback rule). Returns the number of vertices assigned and
 // the number of fallback clusters.
 func Assign(g *graph.Graph, a *partition.Assignment) (assigned, clusterFallbacks int, err error) {
-	a.Grow(g.Order())
-	hasOld := false
-	for v := 0; v < g.Order(); v++ {
-		if g.Alive(graph.Vertex(v)) && a.Part[v] >= 0 {
-			hasOld = true
-			break
-		}
-	}
-	if !hasOld {
-		return 0, 0, errors.New("core: assign: no previously assigned vertices; use a from-scratch partitioner first")
-	}
-	// Clear assignments of dead vertices (deleted since last time).
-	for v := 0; v < g.Order(); v++ {
-		if !g.Alive(graph.Vertex(v)) {
-			a.Part[v] = partition.Unassigned
-		}
-	}
-
-	winner, _ := g.NearestLabeled(a.Part)
-	var orphans []graph.Vertex
-	for v := 0; v < g.Order(); v++ {
-		if !g.Alive(graph.Vertex(v)) || a.Part[v] >= 0 {
-			continue
-		}
-		if winner[v] >= 0 {
-			a.Part[v] = winner[v]
-			assigned++
-		} else {
-			orphans = append(orphans, graph.Vertex(v))
-		}
-	}
-	if len(orphans) == 0 {
-		return assigned, 0, nil
-	}
-
-	// Disconnected new clusters: place each whole component on the
-	// least-loaded partition.
-	sub, _, newToOld := g.InducedSubgraph(orphans)
-	comp, nc := sub.Components()
-	sizes := a.Sizes(g)
-	clusters := make([][]graph.Vertex, nc)
-	for sv, c := range comp {
-		if c >= 0 {
-			clusters[c] = append(clusters[c], newToOld[sv])
-		}
-	}
-	for _, cluster := range clusters {
-		best := 0
-		for q := 1; q < a.P; q++ {
-			if sizes[q] < sizes[best] {
-				best = q
-			}
-		}
-		for _, v := range cluster {
-			a.Part[v] = int32(best)
-			assigned++
-		}
-		sizes[best] += len(cluster)
-		clusterFallbacks++
-	}
-	return assigned, clusterFallbacks, nil
-}
-
-func maxAbsDev(sizes, targets []int) int {
-	d := 0
-	for i := range sizes {
-		dev := sizes[i] - targets[i]
-		if dev < 0 {
-			dev = -dev
-		}
-		if dev > d {
-			d = dev
-		}
-	}
-	return d
+	return engine.Assign(g, a)
 }

@@ -1,0 +1,574 @@
+// Package engine is the hot-path repartitioning machine: a long-lived
+// object that owns every piece of derived state the four-phase IGP
+// pipeline needs, so that repeated Repartition calls over an evolving
+// graph cost work proportional to what changed — not to the whole graph —
+// and allocate (near) nothing in steady state.
+//
+// # Lifecycle and epoching
+//
+// An Engine is bound to one *graph.Graph at construction and consumes the
+// graph's edit epoch (graph.Epoch) plus its bounded edit journal
+// (graph.TouchedSince):
+//
+//   - The CSR snapshot (flat compressed-sparse-row arrays, the layout the
+//     layering and gains kernels traverse) is refreshed in place — reusing
+//     its arrays — only when the graph's epoch has moved since the last
+//     refresh. Within one Repartition call the graph does not change, so
+//     every stage and refinement round shares one snapshot.
+//
+//   - The partition-boundary set (every live vertex with at least one
+//     neighbor in a different partition) is maintained incrementally. When
+//     the journal covers the edits since the last sync, only the journaled
+//     vertices, the vertices whose assignment changed since the engine
+//     last looked, and the neighbors of the moved ones are re-examined;
+//     a full O(n+m) boundary rebuild happens only on the first sync or
+//     after journal overflow. The layering and refinement kernels seed
+//     from this set, so their level-0/candidate passes never scan the full
+//     arc array.
+//
+// # Scratch reuse rules
+//
+// The layering result, the refinement candidate pools, the balance size
+// and target vectors, and the best-assignment snapshot used by the
+// refinement driver are all arenas owned by the engine. They are grown to
+// the largest graph seen and then reused: results returned by Layer and
+// Gains are valid only until the engine's next call. An Engine is not safe
+// for concurrent use; independent goroutines (e.g. simulated SPMD ranks)
+// each own one.
+//
+// Correctness does not depend on the incrementality: the boundary set is
+// kept exact (equivalence-fuzzed against the full scan in the tests), and
+// a seeded layering of an exact boundary is bit-identical to the one-shot
+// full-scan layering.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/balance"
+	"repro/internal/graph"
+	"repro/internal/layering"
+	"repro/internal/lp"
+	"repro/internal/partition"
+	"repro/internal/refine"
+)
+
+// ErrNeedRepartition reports that incremental balancing is impossible
+// (even maximally relaxed LPs stay infeasible). The paper's remedy is to
+// repartition from scratch or add the new vertices in several batches.
+var ErrNeedRepartition = errors.New("core: incremental balance infeasible; repartition from scratch")
+
+// Options configures an Engine (and the core.Repartition wrapper).
+type Options struct {
+	// Solver is the simplex implementation (nil = lp.Bounded{}).
+	Solver lp.Solver
+	// EpsilonMax is the paper's upper bound C on the relaxation factor;
+	// stages try ε = 1, 2, … up to it (0 = default 8).
+	EpsilonMax float64
+	// MaxStages caps balancing stages (0 = default 16).
+	MaxStages int
+	// Tolerance allows partition sizes to deviate from their targets by
+	// up to this many vertices (0 = the paper's exact balance). Positive
+	// values trade residual imbalance for less vertex movement.
+	Tolerance int
+	// Refine enables phase 4 (the IGPR variant).
+	Refine bool
+	// RefineOptions tunes phase 4 when enabled.
+	RefineOptions refine.Options
+}
+
+func (o Options) solver() lp.Solver {
+	if o.Solver == nil {
+		return lp.Bounded{}
+	}
+	return o.Solver
+}
+
+func (o Options) epsMax() float64 {
+	if o.EpsilonMax <= 0 {
+		return 8
+	}
+	return o.EpsilonMax
+}
+
+func (o Options) maxStages() int {
+	if o.MaxStages <= 0 {
+		return 16
+	}
+	return o.MaxStages
+}
+
+// StageStats records one balancing stage.
+type StageStats struct {
+	Epsilon  float64 // relaxation factor that produced a feasible LP
+	Moved    int     // vertices moved
+	LPVars   int     // dense-formulation columns (the paper's v)
+	LPCons   int     // dense-formulation rows (the paper's c)
+	LPPivots int     // simplex iterations
+	MaxDelta int     // largest δ(i,j) this stage
+}
+
+// Stats reports everything Repartition did; the benchmark harness turns
+// these into the paper's table columns.
+type Stats struct {
+	NewAssigned      int // vertices assigned in phase 1
+	ClusterFallbacks int // disconnected new-vertex clusters placed by size
+	Stages           []StageStats
+	BalanceMoved     int
+	Refine           *refine.Stats // nil unless Options.Refine
+	CutBefore        partition.CutStats
+	CutAfter         partition.CutStats
+	AssignTime       time.Duration
+	LayerTime        time.Duration
+	BalanceTime      time.Duration
+	RefineTime       time.Duration
+}
+
+// TotalTime sums the phase times.
+func (s *Stats) TotalTime() time.Duration {
+	return s.AssignTime + s.LayerTime + s.BalanceTime + s.RefineTime
+}
+
+// MaxLPSize returns the largest (vars, cons) over all balancing stages —
+// the paper's "v = 188 and c = 126" statistic.
+func (s *Stats) MaxLPSize() (vars, cons int) {
+	for _, st := range s.Stages {
+		if st.LPVars > vars {
+			vars, cons = st.LPVars, st.LPCons
+		}
+	}
+	return vars, cons
+}
+
+// Engine owns the long-lived repartitioning state for one graph. Create
+// with New, then call Repartition after each batch of graph edits. The
+// zero value is not usable.
+type Engine struct {
+	g   *graph.Graph
+	opt Options
+
+	// Snapshot state.
+	synced bool
+	epoch  uint64
+	csr    *graph.CSR
+
+	// Incremental boundary tracker.
+	prevPart   []int32 // assignment at the last sync (-2 = never seen)
+	inBoundary []bool
+	boundary   []graph.Vertex // exact list of the inBoundary members
+	listDirty  bool           // boundary contains stale entries to compact
+	stamp      []uint32       // per-sync recompute dedup marker
+	gen        uint32
+
+	// Scratch arenas.
+	lay      layering.Scratch
+	gain     refine.Scratch
+	touchBuf []graph.Vertex
+	sizes    []int
+	targets  []int
+	bestPart []int32
+}
+
+// neverSeen marks prevPart slots the engine has not synced yet; it never
+// compares equal to a real partition id or Unassigned.
+const neverSeen int32 = -2
+
+// New returns an engine bound to g. The first Repartition (or Layer/Gains)
+// call pays a full snapshot build; later calls are incremental.
+func New(g *graph.Graph, opt Options) *Engine {
+	return &Engine{g: g, opt: opt}
+}
+
+// Graph returns the graph the engine is bound to.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Snapshot syncs and returns the engine's CSR view of the graph. The
+// returned snapshot is owned by the engine and valid until the graph
+// mutates.
+func (e *Engine) Snapshot(a *partition.Assignment) *graph.CSR {
+	e.sync(a)
+	return e.csr
+}
+
+// Boundary syncs and returns the current partition-boundary vertex set.
+// The slice is owned by the engine, unordered, duplicate-free, and valid
+// until the next engine call.
+func (e *Engine) Boundary(a *partition.Assignment) []graph.Vertex {
+	e.sync(a)
+	return e.boundary
+}
+
+// growTo readies the tracker arrays for an order-n graph.
+func (e *Engine) growTo(n int) {
+	for len(e.prevPart) < n {
+		e.prevPart = append(e.prevPart, neverSeen)
+	}
+	for len(e.inBoundary) < n {
+		e.inBoundary = append(e.inBoundary, false)
+	}
+	for len(e.stamp) < n {
+		e.stamp = append(e.stamp, 0)
+	}
+}
+
+// sync brings the CSR snapshot and boundary set up to date with the graph
+// and the given assignment. Cost is O(changed region) plus one O(n)
+// assignment diff (and an O(n+m) snapshot copy when the graph mutated);
+// nothing is allocated once the arenas have grown.
+func (e *Engine) sync(a *partition.Assignment) {
+	n := e.g.Order()
+	a.Grow(n)
+	if !e.synced || e.g.Epoch() != e.epoch {
+		touched, exact := e.g.TouchedSince(e.epoch, e.touchBuf[:0])
+		e.touchBuf = touched[:0]
+		e.csr = e.g.ToCSRInto(e.csr)
+		wasSynced := e.synced
+		e.epoch = e.g.Epoch()
+		e.synced = true
+		if !wasSynced || !exact {
+			e.rebuildBoundary(a)
+			return
+		}
+		e.growTo(n)
+		e.nextGen()
+		// Structurally touched vertices re-examine themselves; an edge flip
+		// cannot change a non-endpoint's membership.
+		for _, v := range touched {
+			e.recompute(v, a)
+		}
+		e.diffAssignment(a)
+		e.finishSync(a)
+		return
+	}
+	// Graph unchanged: only assignment moves can alter the boundary.
+	e.growTo(n)
+	e.nextGen()
+	e.diffAssignment(a)
+	e.finishSync(a)
+}
+
+// nextGen advances the per-sync recompute stamp generation, clearing the
+// stamps when the counter wraps so a stamp from exactly 2^32 syncs ago
+// cannot masquerade as current.
+func (e *Engine) nextGen() {
+	e.gen++
+	if e.gen == 0 {
+		for i := range e.stamp {
+			e.stamp[i] = 0
+		}
+		e.gen = 1
+	}
+}
+
+// rebuildBoundary recomputes the boundary set from scratch over the
+// current snapshot.
+func (e *Engine) rebuildBoundary(a *partition.Assignment) {
+	n := e.csr.Order()
+	e.growTo(n)
+	e.boundary = e.boundary[:0]
+	e.listDirty = false
+	for v := 0; v < n; v++ {
+		member := e.isBoundary(graph.Vertex(v), a)
+		e.inBoundary[v] = member
+		if member {
+			e.boundary = append(e.boundary, graph.Vertex(v))
+		}
+	}
+	copy(e.prevPart[:n], a.Part[:n])
+}
+
+// isBoundary reports whether v is live with ≥1 foreign neighbor.
+func (e *Engine) isBoundary(v graph.Vertex, a *partition.Assignment) bool {
+	if !e.csr.Live[v] {
+		return false
+	}
+	pv := a.Part[v]
+	for _, u := range e.csr.Row(v) {
+		if a.Part[u] != pv {
+			return true
+		}
+	}
+	return false
+}
+
+// recompute re-evaluates v's boundary membership, at most once per sync.
+func (e *Engine) recompute(v graph.Vertex, a *partition.Assignment) {
+	if e.stamp[v] == e.gen {
+		return
+	}
+	e.stamp[v] = e.gen
+	now := e.isBoundary(v, a)
+	if now == e.inBoundary[v] {
+		return
+	}
+	e.inBoundary[v] = now
+	if now {
+		e.boundary = append(e.boundary, v)
+	} else {
+		e.listDirty = true
+	}
+}
+
+// diffAssignment re-examines every vertex whose partition changed since
+// the last sync, plus its neighbors (whose boundary status depends on it).
+func (e *Engine) diffAssignment(a *partition.Assignment) {
+	n := e.csr.Order()
+	for v := 0; v < n; v++ {
+		if a.Part[v] == e.prevPart[v] {
+			continue
+		}
+		e.recompute(graph.Vertex(v), a)
+		for _, u := range e.csr.Row(graph.Vertex(v)) {
+			e.recompute(u, a)
+		}
+	}
+}
+
+// finishSync compacts the boundary list and records the assignment.
+func (e *Engine) finishSync(a *partition.Assignment) {
+	if e.listDirty {
+		kept := e.boundary[:0]
+		for _, v := range e.boundary {
+			if e.inBoundary[v] {
+				kept = append(kept, v)
+			}
+		}
+		e.boundary = kept
+		e.listDirty = false
+	}
+	n := e.csr.Order()
+	copy(e.prevPart[:n], a.Part[:n])
+}
+
+// Layer runs the boundary-seeded layering kernel over the engine's
+// snapshot. The result is owned by the engine's scratch and invalidated by
+// the next Layer call.
+func (e *Engine) Layer(a *partition.Assignment) (*layering.Result, error) {
+	e.sync(a)
+	return e.lay.LayerSeeded(e.csr, a, e.boundary)
+}
+
+// Gains runs the boundary-seeded refinement gains kernel over the engine's
+// snapshot. The result is owned by the engine's scratch and invalidated by
+// the next Gains call.
+func (e *Engine) Gains(a *partition.Assignment, strict bool) (*refine.Candidates, error) {
+	e.sync(a)
+	return e.gain.GainsSeeded(e.csr, a, strict, e.boundary)
+}
+
+// Repartition updates assignment a in place so it covers the engine's
+// graph with balanced partitions and a small cutset, reusing the old
+// partitioning. Vertices beyond a's original coverage — and any vertex
+// explicitly set to partition.Unassigned — are treated as new. Repeated
+// calls reuse the engine's snapshot, boundary set and scratch arenas.
+func (e *Engine) Repartition(a *partition.Assignment) (*Stats, error) {
+	st := &Stats{}
+	opt := e.opt
+
+	t0 := time.Now()
+	assigned, fallbacks, err := Assign(e.g, a)
+	if err != nil {
+		return st, err
+	}
+	st.NewAssigned = assigned
+	st.ClusterFallbacks = fallbacks
+	st.AssignTime = time.Since(t0)
+	st.CutBefore = partition.Cut(e.g, a)
+
+	if cap(e.targets) < a.P {
+		e.targets = make([]int, a.P)
+	}
+	e.targets = partition.TargetsInto(e.targets, e.g.NumVertices(), a.P)
+	targets := e.targets
+	if cap(e.sizes) < a.P {
+		e.sizes = make([]int, a.P)
+	}
+	solver := opt.solver()
+	for stage := 0; stage < opt.maxStages(); stage++ {
+		sizes := a.SizesInto(e.sizes[:a.P], e.g)
+		if maxAbsDev(sizes, targets) <= opt.Tolerance {
+			break
+		}
+		tL := time.Now()
+		lay, err := e.Layer(a)
+		if err != nil {
+			return st, err
+		}
+		st.LayerTime += time.Since(tL)
+
+		tB := time.Now()
+		stageStat, ok, err := balanceStage(a, lay, sizes, targets, solver, opt.epsMax(), opt.Tolerance)
+		st.BalanceTime += time.Since(tB)
+		if err != nil {
+			return st, err
+		}
+		if !ok {
+			return st, fmt.Errorf("%w (stage %d, sizes %v)", ErrNeedRepartition, stage, sizes)
+		}
+		st.Stages = append(st.Stages, stageStat)
+		st.BalanceMoved += stageStat.Moved
+		if stageStat.Moved == 0 {
+			// A feasible stage that moved nothing makes no progress: either
+			// the targets are met (checked at the top of the loop) or every
+			// residual surplus rounded to zero under the relaxation — in
+			// both cases iterating further changes nothing.
+			break
+		}
+	}
+	sizes := a.SizesInto(e.sizes[:a.P], e.g)
+	if maxAbsDev(sizes, targets) > opt.Tolerance {
+		return st, fmt.Errorf("%w (after %d stages, sizes %v)", ErrNeedRepartition, len(st.Stages), sizes)
+	}
+
+	if opt.Refine {
+		tR := time.Now()
+		ro := opt.RefineOptions
+		if ro.Solver == nil {
+			ro.Solver = solver
+		}
+		rst, err := e.runRefine(a, ro)
+		st.RefineTime = time.Since(tR)
+		st.Refine = rst
+		if err != nil {
+			return st, err
+		}
+	}
+	st.CutAfter = partition.Cut(e.g, a)
+	return st, nil
+}
+
+// balanceStage runs one layer→LP→move stage, escalating ε until feasible.
+func balanceStage(a *partition.Assignment, lay *layering.Result, sizes, targets []int, solver lp.Solver, epsMax float64, tol int) (StageStats, bool, error) {
+	for eps := 1.0; eps <= epsMax; eps++ {
+		m, err := balance.FormulateTol(lay.Delta, sizes, targets, eps, tol)
+		if err != nil {
+			return StageStats{}, false, err
+		}
+		flows, sol, err := balance.Solve(m, solver)
+		if err != nil {
+			return StageStats{}, false, err
+		}
+		if sol.Status != lp.Optimal {
+			continue // relax further
+		}
+		moved, err := balance.Apply(a, lay, flows)
+		if err != nil {
+			return StageStats{}, false, err
+		}
+		vars, cons := lp.DenseSize(m.Prob)
+		maxDelta := 0
+		for _, row := range lay.Delta {
+			for _, d := range row {
+				if d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+		return StageStats{
+			Epsilon:  eps,
+			Moved:    moved,
+			LPVars:   vars,
+			LPCons:   cons,
+			LPPivots: sol.Iterations,
+			MaxDelta: maxDelta,
+		}, true, nil
+	}
+	return StageStats{}, false, nil
+}
+
+// runRefine is the engine's phase 4: the shared refine.Drive loop fed
+// with boundary-seeded gain scans, keeping the best-seen assignment in
+// the engine's reused arena.
+func (e *Engine) runRefine(a *partition.Assignment, opt refine.Options) (*refine.Stats, error) {
+	st, best, err := refine.Drive(e.g, a, opt, func(strict bool) (*refine.Candidates, error) {
+		return e.Gains(a, strict)
+	}, e.bestPart)
+	e.bestPart = best
+	return st, err
+}
+
+// Assign implements phase 1: every live vertex of g that a leaves
+// Unassigned is mapped to the partition of the nearest assigned vertex.
+// New vertices unreachable from any assigned vertex are grouped into
+// connected clusters, each placed on the currently least-loaded partition
+// (the paper's fallback rule). Returns the number of vertices assigned and
+// the number of fallback clusters.
+func Assign(g *graph.Graph, a *partition.Assignment) (assigned, clusterFallbacks int, err error) {
+	a.Grow(g.Order())
+	hasOld := false
+	for v := 0; v < g.Order(); v++ {
+		if g.Alive(graph.Vertex(v)) && a.Part[v] >= 0 {
+			hasOld = true
+			break
+		}
+	}
+	if !hasOld {
+		return 0, 0, errors.New("core: assign: no previously assigned vertices; use a from-scratch partitioner first")
+	}
+	// Clear assignments of dead vertices (deleted since last time).
+	for v := 0; v < g.Order(); v++ {
+		if !g.Alive(graph.Vertex(v)) {
+			a.Part[v] = partition.Unassigned
+		}
+	}
+
+	winner, _ := g.NearestLabeled(a.Part)
+	var orphans []graph.Vertex
+	for v := 0; v < g.Order(); v++ {
+		if !g.Alive(graph.Vertex(v)) || a.Part[v] >= 0 {
+			continue
+		}
+		if winner[v] >= 0 {
+			a.Part[v] = winner[v]
+			assigned++
+		} else {
+			orphans = append(orphans, graph.Vertex(v))
+		}
+	}
+	if len(orphans) == 0 {
+		return assigned, 0, nil
+	}
+
+	// Disconnected new clusters: place each whole component on the
+	// least-loaded partition.
+	sub, _, newToOld := g.InducedSubgraph(orphans)
+	comp, nc := sub.Components()
+	sizes := a.Sizes(g)
+	clusters := make([][]graph.Vertex, nc)
+	for sv, c := range comp {
+		if c >= 0 {
+			clusters[c] = append(clusters[c], newToOld[sv])
+		}
+	}
+	for _, cluster := range clusters {
+		best := 0
+		for q := 1; q < a.P; q++ {
+			if sizes[q] < sizes[best] {
+				best = q
+			}
+		}
+		for _, v := range cluster {
+			a.Part[v] = int32(best)
+			assigned++
+		}
+		sizes[best] += len(cluster)
+		clusterFallbacks++
+	}
+	return assigned, clusterFallbacks, nil
+}
+
+func maxAbsDev(sizes, targets []int) int {
+	d := 0
+	for i := range sizes {
+		dev := sizes[i] - targets[i]
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > d {
+			d = dev
+		}
+	}
+	return d
+}

@@ -1,0 +1,350 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/layering"
+	"repro/internal/partition"
+	"repro/internal/refine"
+	"repro/internal/spectral"
+)
+
+// editableGraph builds a connected random geometric graph with an RSB
+// partition — irregular enough to exercise every boundary shape.
+func editableGraph(t testing.TB, n, p int, seed int64) (*graph.Graph, *partition.Assignment) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, _ := graph.RandomGeometric(n, 0.08, rng)
+	graph.EnsureConnected(g)
+	part, err := spectral.RSB(g, p, spectral.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, &partition.Assignment{Part: part, P: p}
+}
+
+// randomEdit applies one random structural or assignment edit; it returns
+// false when the pick was a no-op (e.g. duplicate edge).
+func randomEdit(g *graph.Graph, a *partition.Assignment, rng *rand.Rand) {
+	switch rng.Intn(6) {
+	case 0: // add a vertex hooked to an existing one
+		v := g.AddVertex(1)
+		a.Grow(g.Order())
+		for tries := 0; tries < 10; tries++ {
+			u := graph.Vertex(rng.Intn(g.Order()))
+			if g.Alive(u) && u != v {
+				_ = g.AddEdge(v, u, 1)
+				a.Part[v] = a.Part[u]
+				return
+			}
+		}
+		a.Part[v] = 0
+	case 1: // add an edge
+		u := graph.Vertex(rng.Intn(g.Order()))
+		v := graph.Vertex(rng.Intn(g.Order()))
+		g.AddEdgeIfAbsent(u, v, 1)
+	case 2: // remove an edge
+		u := graph.Vertex(rng.Intn(g.Order()))
+		if g.Alive(u) && g.Degree(u) > 1 {
+			v := g.Neighbors(u)[rng.Intn(g.Degree(u))]
+			_ = g.RemoveEdge(u, v)
+		}
+	case 3: // remove a vertex
+		v := graph.Vertex(rng.Intn(g.Order()))
+		if g.Alive(v) && g.NumVertices() > 8 {
+			_ = g.RemoveVertex(v)
+			a.Part[v] = partition.Unassigned
+		}
+	default: // move a vertex to another partition
+		v := graph.Vertex(rng.Intn(g.Order()))
+		if g.Alive(v) {
+			a.Part[v] = int32(rng.Intn(a.P))
+		}
+	}
+}
+
+// bruteBoundary recomputes the boundary set directly from the graph.
+func bruteBoundary(g *graph.Graph, a *partition.Assignment) map[graph.Vertex]bool {
+	out := map[graph.Vertex]bool{}
+	for v := 0; v < g.Order(); v++ {
+		if !g.Alive(graph.Vertex(v)) {
+			continue
+		}
+		for _, u := range g.Neighbors(graph.Vertex(v)) {
+			if a.Part[u] != a.Part[graph.Vertex(v)] {
+				out[graph.Vertex(v)] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestBoundaryTrackerExact drives the incremental tracker through random
+// edit sequences and checks it against a brute-force recomputation after
+// every sync.
+func TestBoundaryTrackerExact(t *testing.T) {
+	g, a := editableGraph(t, 300, 6, 42)
+	e := New(g, Options{})
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		for k := 0; k < rng.Intn(4); k++ {
+			randomEdit(g, a, rng)
+		}
+		got := e.Boundary(a)
+		want := bruteBoundary(g, a)
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: boundary has %d vertices, want %d", iter, len(got), len(want))
+		}
+		seen := map[graph.Vertex]bool{}
+		for _, v := range got {
+			if seen[v] {
+				t.Fatalf("iter %d: duplicate boundary vertex %d", iter, v)
+			}
+			seen[v] = true
+			if !want[v] {
+				t.Fatalf("iter %d: vertex %d wrongly in boundary", iter, v)
+			}
+		}
+	}
+}
+
+// TestBoundaryTrackerJournalOverflow forces journal overflow (many more
+// touches than the journal holds) and checks the tracker falls back to an
+// exact rebuild.
+func TestBoundaryTrackerJournalOverflow(t *testing.T) {
+	g, a := editableGraph(t, 200, 4, 3)
+	e := New(g, Options{})
+	_ = e.Boundary(a)
+	// Touch far more than the journal bound.
+	for i := 0; i < 40000; i++ {
+		v := graph.Vertex(i % g.Order())
+		if g.Alive(v) {
+			g.SetVertexWeight(v, 1)
+		}
+	}
+	got := e.Boundary(a)
+	want := bruteBoundary(g, a)
+	if len(got) != len(want) {
+		t.Fatalf("after overflow: boundary has %d vertices, want %d", len(got), len(want))
+	}
+}
+
+// TestSeededLayerEquivalence checks the acceptance criterion: across
+// randomized edit sequences, the engine's boundary-seeded layering is
+// byte-identical (Label, Level, Delta, pools) to the one-shot full-scan
+// layering.
+func TestSeededLayerEquivalence(t *testing.T) {
+	g, a := editableGraph(t, 400, 8, 11)
+	e := New(g, Options{})
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 120; iter++ {
+		got, err := e.Layer(a)
+		if err != nil {
+			t.Fatalf("iter %d: engine layer: %v", iter, err)
+		}
+		want, err := layering.Layer(g, a)
+		if err != nil {
+			t.Fatalf("iter %d: full layer: %v", iter, err)
+		}
+		if !reflect.DeepEqual(got.Label, want.Label) {
+			t.Fatalf("iter %d: Label diverges", iter)
+		}
+		if !reflect.DeepEqual(got.Level, want.Level) {
+			t.Fatalf("iter %d: Level diverges", iter)
+		}
+		if !reflect.DeepEqual(got.Delta, want.Delta) {
+			t.Fatalf("iter %d: Delta diverges", iter)
+		}
+		for i := 0; i < a.P; i++ {
+			for j := 0; j < a.P; j++ {
+				gp, wp := got.Pool(int32(i), int32(j)), want.Pool(int32(i), int32(j))
+				if len(gp) != len(wp) {
+					t.Fatalf("iter %d: pool(%d,%d) length diverges", iter, i, j)
+				}
+				for k := range gp {
+					if gp[k] != wp[k] {
+						t.Fatalf("iter %d: pool(%d,%d)[%d] = %d, want %d", iter, i, j, k, gp[k], wp[k])
+					}
+				}
+			}
+		}
+		if err := got.Validate(g, a); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			randomEdit(g, a, rng)
+		}
+	}
+}
+
+// TestSeededGainsEquivalence checks the boundary-seeded gains kernel
+// against the full scan across randomized edits.
+func TestSeededGainsEquivalence(t *testing.T) {
+	g, a := editableGraph(t, 400, 8, 19)
+	e := New(g, Options{})
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 120; iter++ {
+		strict := iter%2 == 0
+		got, err := e.Gains(a, strict)
+		if err != nil {
+			t.Fatalf("iter %d: engine gains: %v", iter, err)
+		}
+		want, err := refine.Gains(g, a, strict)
+		if err != nil {
+			t.Fatalf("iter %d: full gains: %v", iter, err)
+		}
+		if !reflect.DeepEqual(got.B, want.B) {
+			t.Fatalf("iter %d: B diverges", iter)
+		}
+		if !reflect.DeepEqual(got.Gain, want.Gain) {
+			t.Fatalf("iter %d: Gain diverges", iter)
+		}
+		for i := 0; i < a.P; i++ {
+			for j := 0; j < a.P; j++ {
+				gp, wp := got.Pool(int32(i), int32(j)), want.Pool(int32(i), int32(j))
+				if len(gp) != len(wp) {
+					t.Fatalf("iter %d: pool(%d,%d) length diverges", iter, i, j)
+				}
+				for k := range gp {
+					if gp[k] != wp[k] {
+						t.Fatalf("iter %d: pool(%d,%d)[%d] diverges", iter, i, j, k)
+					}
+				}
+			}
+		}
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			randomEdit(g, a, rng)
+		}
+	}
+}
+
+// TestGainsSeededDuplicateSeeds feeds the seeded gains kernel a seed list
+// with every vertex repeated and requires the same candidates as the full
+// scan — duplicates must not double-bucket a vertex.
+func TestGainsSeededDuplicateSeeds(t *testing.T) {
+	g, a := editableGraph(t, 200, 5, 51)
+	csr := g.ToCSR()
+	seeds := append(g.Vertices(), g.Vertices()...)
+	var s refine.Scratch
+	got, err := s.GainsSeeded(csr, a, false, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := refine.Gains(g, a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.B, want.B) {
+		t.Fatal("duplicate seeds changed the candidate counts")
+	}
+	for i := 0; i < a.P; i++ {
+		for j := 0; j < a.P; j++ {
+			gp, wp := got.Pool(int32(i), int32(j)), want.Pool(int32(i), int32(j))
+			if len(gp) != len(wp) {
+				t.Fatalf("pool(%d,%d) length diverges with duplicate seeds", i, j)
+			}
+		}
+	}
+}
+
+// TestEngineRepartitionMatchesOneShot runs the same edit sequence through
+// one long-lived engine and through fresh one-shot engines, requiring
+// identical assignments — the engine's persistence must be purely a
+// performance property.
+func TestEngineRepartitionMatchesOneShot(t *testing.T) {
+	gA, aA := editableGraph(t, 300, 6, 31)
+	gB := gA.Clone()
+	aB := aA.Clone()
+	e := New(gA, Options{Refine: true})
+	rngA := rand.New(rand.NewSource(37))
+	rngB := rand.New(rand.NewSource(37))
+	for step := 0; step < 6; step++ {
+		for k := 0; k < 10; k++ {
+			randomEdit(gA, aA, rngA)
+			randomEdit(gB, aB, rngB)
+		}
+		// Drop the random moves: Repartition expects a valid (or Unassigned)
+		// partition per live vertex, which randomEdit preserves.
+		stA, errA := e.Repartition(aA)
+		stB, errB := New(gB, Options{Refine: true}).Repartition(aB)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("step %d: error mismatch: %v vs %v", step, errA, errB)
+		}
+		if errA != nil {
+			t.Skipf("step %d: repartition infeasible on this sequence: %v", step, errA)
+		}
+		if !reflect.DeepEqual(aA.Part, aB.Part) {
+			t.Fatalf("step %d: long-lived engine diverges from one-shot", step)
+		}
+		if stA.BalanceMoved != stB.BalanceMoved || len(stA.Stages) != len(stB.Stages) {
+			t.Fatalf("step %d: stats diverge: moved %d/%d stages %d/%d",
+				step, stA.BalanceMoved, stB.BalanceMoved, len(stA.Stages), len(stB.Stages))
+		}
+	}
+}
+
+// TestSteadyStateLayerAllocs is the allocation regression: layering an
+// unchanged graph through a warm engine must not allocate.
+func TestSteadyStateLayerAllocs(t *testing.T) {
+	g, a := editableGraph(t, 500, 8, 5)
+	e := New(g, Options{})
+	if _, err := e.Layer(a); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := e.Layer(a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Layer allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestSteadyStateGainsAllocs: gain scans on an unchanged graph through a
+// warm engine must not allocate.
+func TestSteadyStateGainsAllocs(t *testing.T) {
+	g, a := editableGraph(t, 500, 8, 5)
+	e := New(g, Options{})
+	if _, err := e.Gains(a, false); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := e.Gains(a, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Gains allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestSteadyStateSmallEditAllocs: after a small edit, the engine resyncs
+// incrementally; the whole Layer call (sync + kernel) must stay within a
+// small constant allocation budget (the CSR refresh reuses its arrays).
+func TestSteadyStateSmallEditAllocs(t *testing.T) {
+	g, a := editableGraph(t, 500, 8, 5)
+	e := New(g, Options{})
+	if _, err := e.Layer(a); err != nil {
+		t.Fatal(err)
+	}
+	u, v := graph.Vertex(0), graph.Vertex(1)
+	allocs := testing.AllocsPerRun(20, func() {
+		// Flip one edge back and forth: a two-touch journal entry per run.
+		if g.HasEdge(u, v) {
+			_ = g.RemoveEdge(u, v)
+		} else {
+			_ = g.AddEdge(u, v, 1)
+		}
+		if _, err := e.Layer(a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4 {
+		t.Fatalf("small-edit Layer allocates %.1f objects/op, want ≤ 4", allocs)
+	}
+}

@@ -61,7 +61,8 @@ func (g *Graph) InducedSubgraph(keep []Vertex) (sub *Graph, oldToNew, newToOld [
 		for i, u := range g.adj[old] {
 			nv := oldToNew[u]
 			if nv >= 0 && nu < nv {
-				_ = sub.AddEdge(nu, nv, g.ew[old][i])
+				// Unchecked: source edges are unique and endpoints live.
+				sub.AddEdgeUnchecked(nu, nv, g.ew[old][i])
 			}
 		}
 	}

@@ -17,22 +17,38 @@ type CSR struct {
 // ToCSR builds a CSR snapshot. Rows follow the graph's current adjacency
 // order; call SortAdjacency first for fully deterministic layouts.
 func (g *Graph) ToCSR() *CSR {
+	return g.ToCSRInto(nil)
+}
+
+// ToCSRInto refreshes c to a snapshot of the graph's current state,
+// reusing c's arrays when their capacity suffices; c == nil allocates a
+// fresh snapshot. It returns the refreshed snapshot (always c when c is
+// non-nil). Long-lived consumers refresh in place each time the graph's
+// epoch moves and pay no steady-state allocation.
+func (g *Graph) ToCSRInto(c *CSR) *CSR {
 	n := g.Order()
-	c := &CSR{
-		XAdj: make([]int32, n+1),
-		Adj:  make([]Vertex, 0, 2*g.m),
-		EW:   make([]float64, 0, 2*g.m),
-		VW:   append([]float64(nil), g.vw...),
-		Live: append([]bool(nil), g.alive...),
-		NumV: g.NumVertices(),
-		NumE: g.m,
+	if c == nil {
+		c = &CSR{
+			XAdj: make([]int32, 0, n+1),
+			Adj:  make([]Vertex, 0, 2*g.m),
+			EW:   make([]float64, 0, 2*g.m),
+			VW:   make([]float64, 0, n),
+			Live: make([]bool, 0, n),
+		}
 	}
+	c.XAdj = c.XAdj[:0]
+	c.Adj = c.Adj[:0]
+	c.EW = c.EW[:0]
+	c.VW = append(c.VW[:0], g.vw...)
+	c.Live = append(c.Live[:0], g.alive...)
+	c.NumV = g.NumVertices()
+	c.NumE = g.m
 	for v := 0; v < n; v++ {
-		c.XAdj[v] = int32(len(c.Adj))
+		c.XAdj = append(c.XAdj, int32(len(c.Adj)))
 		c.Adj = append(c.Adj, g.adj[v]...)
 		c.EW = append(c.EW, g.ew[v]...)
 	}
-	c.XAdj[n] = int32(len(c.Adj))
+	c.XAdj = append(c.XAdj, int32(len(c.Adj)))
 	return c
 }
 

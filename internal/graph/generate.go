@@ -14,10 +14,10 @@ func Grid(rows, cols int) *Graph {
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			if c+1 < cols {
-				_ = g.AddEdge(id(r, c), id(r, c+1), 1)
+				g.AddEdgeUnchecked(id(r, c), id(r, c+1), 1)
 			}
 			if r+1 < rows {
-				_ = g.AddEdge(id(r, c), id(r+1, c), 1)
+				g.AddEdgeUnchecked(id(r, c), id(r+1, c), 1)
 			}
 		}
 	}
@@ -31,14 +31,10 @@ func Torus(rows, cols int) *Graph {
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			if cols > 2 || c+1 < cols {
-				if !g.HasEdge(id(r, c), id(r, c+1)) && id(r, c) != id(r, c+1) {
-					_ = g.AddEdge(id(r, c), id(r, c+1), 1)
-				}
+				g.AddEdgeIfAbsent(id(r, c), id(r, c+1), 1)
 			}
 			if rows > 2 || r+1 < rows {
-				if !g.HasEdge(id(r, c), id(r+1, c)) && id(r, c) != id(r+1, c) {
-					_ = g.AddEdge(id(r, c), id(r+1, c), 1)
-				}
+				g.AddEdgeIfAbsent(id(r, c), id(r+1, c), 1)
 			}
 		}
 	}
@@ -56,10 +52,7 @@ func RandomGNM(n, m int, rng *rand.Rand) (*Graph, error) {
 	for g.NumEdges() < m {
 		u := Vertex(rng.Intn(n))
 		v := Vertex(rng.Intn(n))
-		if u == v || g.HasEdge(u, v) {
-			continue
-		}
-		_ = g.AddEdge(u, v, 1)
+		g.AddEdgeIfAbsent(u, v, 1)
 	}
 	return g, nil
 }
@@ -97,7 +90,8 @@ func RandomGeometric(n int, radius float64, rng *rand.Rand) (*Graph, [][2]float6
 					q := pts[j]
 					ddx, ddy := p[0]-q[0], p[1]-q[1]
 					if ddx*ddx+ddy*ddy <= r2 {
-						_ = g.AddEdge(Vertex(i), j, 1)
+						// Each unordered pair is enumerated exactly once.
+						g.AddEdgeUnchecked(Vertex(i), j, 1)
 					}
 				}
 			}
@@ -110,7 +104,7 @@ func RandomGeometric(n int, radius float64, rng *rand.Rand) (*Graph, [][2]float6
 func Path(n int) *Graph {
 	g := NewWithVertices(n)
 	for i := 0; i+1 < n; i++ {
-		_ = g.AddEdge(Vertex(i), Vertex(i+1), 1)
+		g.AddEdgeUnchecked(Vertex(i), Vertex(i+1), 1)
 	}
 	return g
 }
@@ -120,7 +114,7 @@ func Complete(n int) *Graph {
 	g := NewWithVertices(n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			_ = g.AddEdge(Vertex(i), Vertex(j), 1)
+			g.AddEdgeUnchecked(Vertex(i), Vertex(j), 1)
 		}
 	}
 	return g
@@ -146,7 +140,8 @@ func EnsureConnected(g *Graph) int {
 	}
 	added := 0
 	for c := 1; c < n; c++ {
-		_ = g.AddEdge(rep[0], rep[c], 1)
+		// Representatives live in distinct components: no duplicate risk.
+		g.AddEdgeUnchecked(rep[0], rep[c], 1)
 		added++
 	}
 	return added

@@ -26,6 +26,11 @@ type Vertex = int32
 //   - adjacency is symmetric with matching weights,
 //   - no self-loops and no parallel edges,
 //   - dead vertices have empty adjacency.
+//
+// Every mutation advances an edit epoch and records the touched vertices
+// in a bounded journal, letting long-lived consumers (the repartitioning
+// engine) refresh derived state — CSR snapshots, partition-boundary sets —
+// incrementally instead of rescanning the whole graph.
 type Graph struct {
 	adj   [][]Vertex  // adjacency lists
 	ew    [][]float64 // edge weights, parallel to adj
@@ -33,6 +38,51 @@ type Graph struct {
 	alive []bool      // tombstone flags
 	m     int         // number of live undirected edges
 	dead  int         // number of dead vertices
+
+	epoch        uint64   // advanced by every mutation
+	journalV     []Vertex // touched vertices, parallel to journalE
+	journalE     []uint64 // epoch at which each touch happened
+	journalFloor uint64   // touches at epochs ≤ floor have been dropped
+}
+
+// maxJournal bounds the edit journal; once exceeded the journal is reset
+// and TouchedSince reports inexact, forcing consumers to rescan. The bound
+// keeps bulk loads (which touch every vertex many times) from hoarding
+// memory for a journal nobody could use profitably.
+const maxJournal = 1 << 14
+
+// Epoch returns the current edit epoch. It advances on every mutation
+// (vertex/edge insert or delete, weight update, adjacency reorder), so
+// derived snapshots are stale exactly when the epoch has moved.
+func (g *Graph) Epoch() uint64 { return g.epoch }
+
+// touch advances the epoch and journals the given vertices as touched.
+func (g *Graph) touch(vs ...Vertex) {
+	g.epoch++
+	if len(g.journalV)+len(vs) > maxJournal {
+		g.journalV = g.journalV[:0]
+		g.journalE = g.journalE[:0]
+		g.journalFloor = g.epoch - 1
+	}
+	for _, v := range vs {
+		g.journalV = append(g.journalV, v)
+		g.journalE = append(g.journalE, g.epoch)
+	}
+}
+
+// TouchedSince appends to buf the vertices touched by mutations after the
+// given epoch and returns the extended slice. exact is false when the
+// journal no longer reaches back that far (it is bounded); callers must
+// then treat every vertex as potentially touched. Vertices may repeat.
+func (g *Graph) TouchedSince(epoch uint64, buf []Vertex) (touched []Vertex, exact bool) {
+	if epoch < g.journalFloor {
+		return buf, false
+	}
+	// journalE is nondecreasing: binary-search the first entry past epoch
+	// so retrieving a few recent touches costs O(log J + answer), not a
+	// scan of the whole journal.
+	lo := sort.Search(len(g.journalE), func(i int) bool { return g.journalE[i] > epoch })
+	return append(buf, g.journalV[lo:]...), true
 }
 
 // New returns an empty graph with capacity hints for n vertices.
@@ -78,6 +128,7 @@ func (g *Graph) AddVertex(weight float64) Vertex {
 	g.ew = append(g.ew, nil)
 	g.vw = append(g.vw, weight)
 	g.alive = append(g.alive, true)
+	g.touch(v)
 	return v
 }
 
@@ -87,10 +138,13 @@ func (g *Graph) RemoveVertex(v Vertex) error {
 	if !g.Alive(v) {
 		return fmt.Errorf("graph: remove vertex %d: not a live vertex", v)
 	}
-	// Detach from all neighbors.
+	// Detach from all neighbors; the former neighbors are journaled too,
+	// since their boundary status may change with the edges.
+	g.touch(v)
 	for _, u := range g.adj[v] {
 		g.removeArc(u, v)
 		g.m--
+		g.touch(u)
 	}
 	g.adj[v] = nil
 	g.ew[v] = nil
@@ -103,7 +157,10 @@ func (g *Graph) RemoveVertex(v Vertex) error {
 func (g *Graph) VertexWeight(v Vertex) float64 { return g.vw[v] }
 
 // SetVertexWeight updates the weight of v.
-func (g *Graph) SetVertexWeight(v Vertex, w float64) { g.vw[v] = w }
+func (g *Graph) SetVertexWeight(v Vertex, w float64) {
+	g.vw[v] = w
+	g.touch(v)
+}
 
 // Degree returns the number of live neighbors of v.
 func (g *Graph) Degree(v Vertex) int { return len(g.adj[v]) }
@@ -158,12 +215,38 @@ func (g *Graph) AddEdge(u, v Vertex, weight float64) error {
 	if g.HasEdge(u, v) {
 		return fmt.Errorf("graph: add edge {%d,%d}: already present", u, v)
 	}
+	g.addEdgeRaw(u, v, weight)
+	return nil
+}
+
+// AddEdgeUnchecked inserts the undirected edge {u,v} without the duplicate
+// scan AddEdge performs, making bulk construction O(1) per edge instead of
+// O(deg). The caller must guarantee u ≠ v, both endpoints are live, and
+// the edge is not already present — Validate detects violations. Builders
+// that generate each edge exactly once (grids, meshes, subgraph copies)
+// use this path.
+func (g *Graph) AddEdgeUnchecked(u, v Vertex, weight float64) {
+	g.addEdgeRaw(u, v, weight)
+}
+
+// AddEdgeIfAbsent inserts {u,v} if it is not already present, reporting
+// whether it inserted. Unlike the AddEdge error path it performs a single
+// duplicate scan. Self-loops and dead endpoints are never inserted.
+func (g *Graph) AddEdgeIfAbsent(u, v Vertex, weight float64) bool {
+	if u == v || g.HasEdge(u, v) || !g.Alive(u) || !g.Alive(v) {
+		return false
+	}
+	g.addEdgeRaw(u, v, weight)
+	return true
+}
+
+func (g *Graph) addEdgeRaw(u, v Vertex, weight float64) {
 	g.adj[u] = append(g.adj[u], v)
 	g.ew[u] = append(g.ew[u], weight)
 	g.adj[v] = append(g.adj[v], u)
 	g.ew[v] = append(g.ew[v], weight)
 	g.m++
-	return nil
+	g.touch(u, v)
 }
 
 // RemoveEdge deletes the undirected edge {u,v}.
@@ -174,6 +257,7 @@ func (g *Graph) RemoveEdge(u, v Vertex) error {
 	g.removeArc(u, v)
 	g.removeArc(v, u)
 	g.m--
+	g.touch(u, v)
 	return nil
 }
 
@@ -192,6 +276,8 @@ func (g *Graph) removeArc(u, v Vertex) {
 }
 
 // Vertices returns the identifiers of all live vertices in increasing order.
+// It allocates; hot loops should use ForEachVertex or iterate [0, Order())
+// with Alive instead.
 func (g *Graph) Vertices() []Vertex {
 	out := make([]Vertex, 0, g.NumVertices())
 	for v := range g.adj {
@@ -200,6 +286,16 @@ func (g *Graph) Vertices() []Vertex {
 		}
 	}
 	return out
+}
+
+// ForEachVertex calls fn for every live vertex in increasing order without
+// allocating. fn must not mutate the graph.
+func (g *Graph) ForEachVertex(fn func(Vertex)) {
+	for v, ok := range g.alive {
+		if ok {
+			fn(Vertex(v))
+		}
+	}
 }
 
 // TotalVertexWeight returns the sum of live vertex weights.
@@ -222,6 +318,10 @@ func (g *Graph) Clone() *Graph {
 		alive: append([]bool(nil), g.alive...),
 		m:     g.m,
 		dead:  g.dead,
+		// The journal is not copied: mark it fully dropped so TouchedSince
+		// on the clone never claims exact knowledge it does not have.
+		epoch:        g.epoch,
+		journalFloor: g.epoch,
 	}
 	for v := range g.adj {
 		c.adj[v] = append([]Vertex(nil), g.adj[v]...)
@@ -252,31 +352,42 @@ func (g *Graph) Compact() (c *Graph, oldToNew []Vertex, newToOld []Vertex) {
 		for i, u := range g.adj[old] {
 			nv := oldToNew[u]
 			if nu < nv { // add each undirected edge once
-				// Error impossible: edges are unique and endpoints live.
-				_ = c.AddEdge(nu, nv, g.ew[old][i])
+				// Unchecked: source edges are unique and endpoints live.
+				c.AddEdgeUnchecked(nu, nv, g.ew[old][i])
 			}
 		}
 	}
 	return c, oldToNew, newToOld
 }
 
-// SortAdjacency sorts every adjacency list (and its weights) by neighbor
-// identifier, making iteration order deterministic regardless of edit order.
+// adjSorter sorts one adjacency list in place, swapping the parallel
+// weight list alongside. A single instance is reused across vertices so
+// the sort.Interface conversion costs one allocation per SortAdjacency
+// call, not per vertex.
+type adjSorter struct {
+	a []Vertex
+	w []float64
+}
+
+func (s *adjSorter) Len() int           { return len(s.a) }
+func (s *adjSorter) Less(i, j int) bool { return s.a[i] < s.a[j] }
+func (s *adjSorter) Swap(i, j int) {
+	s.a[i], s.a[j] = s.a[j], s.a[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}
+
+// SortAdjacency sorts every adjacency list (and its weights) in place by
+// neighbor identifier, making iteration order deterministic regardless of
+// edit order. Reordering invalidates CSR snapshots, so the epoch advances.
 func (g *Graph) SortAdjacency() {
+	var s adjSorter
 	for v := range g.adj {
-		a, w := g.adj[v], g.ew[v]
-		idx := make([]int, len(a))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.Slice(idx, func(i, j int) bool { return a[idx[i]] < a[idx[j]] })
-		na := make([]Vertex, len(a))
-		nw := make([]float64, len(a))
-		for i, k := range idx {
-			na[i], nw[i] = a[k], w[k]
-		}
-		g.adj[v], g.ew[v] = na, nw
+		s.a, s.w = g.adj[v], g.ew[v]
+		sort.Sort(&s)
 	}
+	// Membership is untouched but snapshot layouts changed: advance the
+	// epoch without journaling any vertex.
+	g.epoch++
 }
 
 // Validate checks structural invariants, returning the first violation.

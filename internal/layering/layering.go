@@ -7,6 +7,14 @@
 // l(i,j), and the per-pair vertex pools, ordered boundary-first, tell the
 // mover exactly which vertices realize a flow with the least damage to
 // partition shape.
+//
+// Two entry points exist. Layer is the one-shot API: it snapshots the
+// graph and scans every vertex. The Scratch type is the hot-path API: it
+// runs the same kernel over a caller-owned CSR snapshot, optionally seeded
+// with a precomputed boundary superset (so level 0 does no full-graph arc
+// scan), and reuses every buffer across calls so steady-state layering
+// allocates nothing. Both produce bit-identical results for the same
+// graph and assignment.
 package layering
 
 import (
@@ -49,41 +57,167 @@ func (r *Result) Neighbors(i int32) []int32 {
 	return out
 }
 
+// Scratch holds the reusable state of the layering kernel. The zero value
+// is ready to use; buffers grow to the largest graph seen and are then
+// reused, so repeated layering of a stable-size graph allocates nothing.
+// The Result returned by its methods is owned by the Scratch and is
+// invalidated by the next call.
+type Scratch struct {
+	res          Result
+	counts       []int
+	touched      []int32
+	frontier     []graph.Vertex
+	candidates   []graph.Vertex
+	inCandidates []bool
+	byLevel      [][]graph.Vertex
+	att          []int32
+	sorter       poolSorter
+}
+
+// poolSorter orders one level's vertices by attachment (descending) then
+// id — a total order, so the pool layout is independent of discovery
+// order. It is a reused sort.Interface so the stable sort costs no
+// per-call closure or swapper allocation.
+type poolSorter struct {
+	vs  []graph.Vertex
+	att []int32
+}
+
+func (s *poolSorter) Len() int { return len(s.vs) }
+func (s *poolSorter) Less(i, j int) bool {
+	if s.att[s.vs[i]] != s.att[s.vs[j]] {
+		return s.att[s.vs[i]] > s.att[s.vs[j]]
+	}
+	return s.vs[i] < s.vs[j]
+}
+func (s *poolSorter) Swap(i, j int) { s.vs[i], s.vs[j] = s.vs[j], s.vs[i] }
+
 // Layer runs the layering algorithm. Every live vertex must be assigned.
 func Layer(g *graph.Graph, a *partition.Assignment) (*Result, error) {
 	if err := a.Validate(g); err != nil {
 		return nil, fmt.Errorf("layering: %w", err)
 	}
-	n := g.Order()
-	p := a.P
-	r := &Result{
-		P:     p,
-		Label: make([]int32, n),
-		Level: make([]int32, n),
-		Delta: make([][]int, p),
-		pools: make([][][]graph.Vertex, p),
+	var s Scratch
+	return s.run(g.ToCSR(), a, nil, false), nil
+}
+
+// LayerCSR runs the layering kernel over a CSR snapshot, reusing the
+// scratch buffers. The snapshot must reflect the graph the assignment
+// covers. The result is owned by the Scratch.
+func (s *Scratch) LayerCSR(c *graph.CSR, a *partition.Assignment) (*Result, error) {
+	if err := ValidateAssignment(c, a); err != nil {
+		return nil, fmt.Errorf("layering: %w", err)
 	}
-	for i := range r.Label {
+	return s.run(c, a, nil, false), nil
+}
+
+// LayerSeeded is LayerCSR with a precomputed boundary superset: only the
+// seed vertices are examined for level-0 membership, so the level-0 pass
+// costs O(Σ deg(seed)) instead of a full scan of every arc. seeds must
+// contain every live vertex with at least one foreign neighbor (extra or
+// duplicate vertices are harmless); the result is then bit-identical to
+// the full-scan kernel's.
+func (s *Scratch) LayerSeeded(c *graph.CSR, a *partition.Assignment, seeds []graph.Vertex) (*Result, error) {
+	if err := ValidateAssignment(c, a); err != nil {
+		return nil, fmt.Errorf("layering: %w", err)
+	}
+	return s.run(c, a, seeds, true), nil
+}
+
+// ValidateAssignment checks that a covers the snapshot: live slots carry a
+// partition in [0, P), dead slots are Unassigned.
+func ValidateAssignment(c *graph.CSR, a *partition.Assignment) error {
+	return a.ValidateCSR(c)
+}
+
+// grow readies the scratch for an order-n, P-partition run.
+func (s *Scratch) grow(n, p int) *Result {
+	r := &s.res
+	r.P = p
+	r.Label = growInt32(r.Label, n)
+	r.Level = growInt32(r.Level, n)
+	for i := range r.Label[:n] {
 		r.Label[i] = -1
 		r.Level[i] = -1
 	}
-	for i := 0; i < p; i++ {
-		r.Delta[i] = make([]int, p)
-		r.pools[i] = make([][]graph.Vertex, p)
+	if cap(r.Delta) < p {
+		r.Delta = make([][]int, p)
 	}
+	r.Delta = r.Delta[:p]
+	if cap(r.pools) < p {
+		r.pools = make([][][]graph.Vertex, p)
+	}
+	r.pools = r.pools[:p]
+	for i := 0; i < p; i++ {
+		if cap(r.Delta[i]) < p {
+			r.Delta[i] = make([]int, p)
+		}
+		r.Delta[i] = r.Delta[i][:p]
+		for j := range r.Delta[i] {
+			r.Delta[i][j] = 0
+		}
+		if cap(r.pools[i]) < p {
+			r.pools[i] = make([][]graph.Vertex, p)
+		}
+		r.pools[i] = r.pools[i][:p]
+		for j := range r.pools[i] {
+			r.pools[i][j] = r.pools[i][j][:0]
+		}
+	}
+
+	if cap(s.counts) < p {
+		s.counts = make([]int, p)
+	}
+	s.counts = s.counts[:p]
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.touched = s.touched[:0]
+	s.frontier = s.frontier[:0]
+	s.candidates = s.candidates[:0]
+	if cap(s.inCandidates) < n {
+		s.inCandidates = make([]bool, n)
+	}
+	s.inCandidates = s.inCandidates[:n]
+	for i := range s.inCandidates {
+		s.inCandidates[i] = false
+	}
+	s.att = growInt32(s.att, n)
+	for i := range s.att[:n] {
+		s.att[i] = 0
+	}
+	return r
+}
+
+func growInt32(b []int32, n int) []int32 {
+	if cap(b) < n {
+		return make([]int32, n)
+	}
+	return b[:n]
+}
+
+// run is the kernel shared by all entry points. When seeded, only the
+// seeds are examined for level-0 membership; otherwise every vertex is.
+// The produced labeling is independent of seed order and of the frontier
+// traversal order: each level-ℓ+1 label depends only on the completed
+// level-ℓ labeling, and pools are rebuilt from a full in-order pass.
+func (s *Scratch) run(c *graph.CSR, a *partition.Assignment, seeds []graph.Vertex, seeded bool) *Result {
+	n := c.Order()
+	p := a.P
+	r := s.grow(n, p)
+	counts := s.counts
+	touched := s.touched[:0]
+	frontier := s.frontier[:0]
 
 	// Level 0: boundary vertices take the foreign partition they touch the
 	// most (ties broken toward the smaller partition id).
-	counts := make([]int, p)
-	var touched []int32
-	frontier := make([]graph.Vertex, 0, n/4)
-	for v := 0; v < n; v++ {
-		if !g.Alive(graph.Vertex(v)) {
-			continue
+	levelZero := func(v graph.Vertex) {
+		if !c.Live[v] || r.Level[v] == 0 {
+			return // dead, or a duplicate seed already classified
 		}
 		pv := a.Part[v]
 		touched = touched[:0]
-		for _, u := range g.Neighbors(graph.Vertex(v)) {
+		for _, u := range c.Row(v) {
 			pu := a.Part[u]
 			if pu != pv {
 				if counts[pu] == 0 {
@@ -93,7 +227,7 @@ func Layer(g *graph.Graph, a *partition.Assignment) (*Result, error) {
 			}
 		}
 		if len(touched) == 0 {
-			continue
+			return
 		}
 		best := touched[0]
 		for _, k := range touched[1:] {
@@ -106,31 +240,41 @@ func Layer(g *graph.Graph, a *partition.Assignment) (*Result, error) {
 		}
 		r.Label[v] = best
 		r.Level[v] = 0
-		frontier = append(frontier, graph.Vertex(v))
+		frontier = append(frontier, v)
+	}
+	if seeded {
+		for _, v := range seeds {
+			levelZero(v)
+		}
+	} else {
+		for v := 0; v < n; v++ {
+			levelZero(graph.Vertex(v))
+		}
 	}
 
 	// Interior levels: an unlabeled vertex adjacent (within its own
 	// partition) to level-ℓ vertices takes the label most common among
 	// them, at level ℓ+1.
 	level := int32(0)
-	inCandidates := make([]bool, n)
+	inCandidates := s.inCandidates
+	candidates := s.candidates[:0]
 	for len(frontier) > 0 {
-		var candidates []graph.Vertex
+		candidates = candidates[:0]
 		for _, v := range frontier {
 			pv := a.Part[v]
-			for _, u := range g.Neighbors(v) {
+			for _, u := range c.Row(v) {
 				if a.Part[u] == pv && r.Label[u] < 0 && !inCandidates[u] {
 					inCandidates[u] = true
 					candidates = append(candidates, u)
 				}
 			}
 		}
-		next := candidates[:0]
+		frontier = frontier[:0]
 		for _, u := range candidates {
 			inCandidates[u] = false
 			pu := a.Part[u]
 			touched = touched[:0]
-			for _, w := range g.Neighbors(u) {
+			for _, w := range c.Row(u) {
 				if a.Part[w] != pu {
 					continue
 				}
@@ -156,11 +300,14 @@ func Layer(g *graph.Graph, a *partition.Assignment) (*Result, error) {
 			}
 			r.Label[u] = best
 			r.Level[u] = level + 1
-			next = append(next, u)
+			frontier = append(frontier, u)
 		}
-		frontier = next
 		level++
 	}
+	// Return the (possibly re-grown) buffers to the scratch for reuse.
+	s.touched = touched[:0]
+	s.frontier = frontier[:0]
+	s.candidates = candidates[:0]
 
 	// Pools and δ in (level, attachment, vertex-id) order: vertices closer
 	// to the boundary move first, and within a level the vertices with the
@@ -173,38 +320,43 @@ func Layer(g *graph.Graph, a *partition.Assignment) (*Result, error) {
 			maxLevel = r.Level[v]
 		}
 	}
-	byLevel := make([][]graph.Vertex, maxLevel+1)
+	if cap(s.byLevel) < int(maxLevel+1) {
+		old := s.byLevel
+		s.byLevel = make([][]graph.Vertex, maxLevel+1)
+		copy(s.byLevel, old)
+	}
+	byLevel := s.byLevel[:maxLevel+1]
+	for l := range byLevel {
+		byLevel[l] = byLevel[l][:0]
+	}
 	for v := 0; v < n; v++ {
 		if l := r.Level[v]; l >= 0 {
 			byLevel[l] = append(byLevel[l], graph.Vertex(v))
 		}
 	}
-	att := make([]int32, n) // edges from v into its label partition
+	att := s.att // edges from v into its label partition
 	for v := 0; v < n; v++ {
 		if r.Label[v] < 0 {
 			continue
 		}
 		lab := r.Label[v]
-		for _, u := range g.Neighbors(graph.Vertex(v)) {
+		for _, u := range c.Row(graph.Vertex(v)) {
 			if a.Part[u] == lab {
 				att[v]++
 			}
 		}
 	}
-	for _, vs := range byLevel {
-		sort.SliceStable(vs, func(x, y int) bool {
-			if att[vs[x]] != att[vs[y]] {
-				return att[vs[x]] > att[vs[y]]
-			}
-			return vs[x] < vs[y]
-		})
+	for l, vs := range byLevel {
+		s.sorter.vs, s.sorter.att = vs, att
+		sort.Stable(&s.sorter)
 		for _, v := range vs {
 			i, j := a.Part[v], r.Label[v]
 			r.pools[i][j] = append(r.pools[i][j], v)
 			r.Delta[i][j]++
 		}
+		byLevel[l] = vs[:0]
 	}
-	return r, nil
+	return r
 }
 
 // Validate checks internal consistency of a layering against its graph

@@ -270,8 +270,9 @@ func (m *Mesh) Graph() *graph.Graph {
 				continue
 			}
 			gu, gw := u-3, w-3
-			if gu < gw && !g.HasEdge(gu, gw) {
-				_ = g.AddEdge(gu, gw, 1)
+			if gu < gw {
+				// Triangles share edges: a single duplicate scan, not two.
+				g.AddEdgeIfAbsent(gu, gw, 1)
 			}
 		}
 	}
@@ -316,12 +317,12 @@ func (m *Mesh) UpdateGraph(g *graph.Graph) error {
 			}
 		}
 	}
-	// Add missing edges.
+	// Add missing edges. A failed insert that is not a duplicate means the
+	// graph has drifted from the mesh (e.g. a caller removed a vertex the
+	// mesh still triangulates) — surface that instead of dropping edges.
 	for e := range want {
-		if !g.HasEdge(e[0], e[1]) {
-			if err := g.AddEdge(e[0], e[1], 1); err != nil {
-				return err
-			}
+		if !g.AddEdgeIfAbsent(e[0], e[1], 1) && !g.HasEdge(e[0], e[1]) {
+			return fmt.Errorf("mesh: update graph: cannot add edge {%d,%d}", e[0], e[1])
 		}
 	}
 	return nil

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/balance"
 	"repro/internal/comm"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/layering"
 	"repro/internal/lp"
@@ -126,9 +127,12 @@ func Repartition(w *comm.World, g *graph.Graph, a *partition.Assignment, opt Opt
 // owner maps a partition to the rank that owns it.
 func owner(q int32, ranks int) int { return int(q) % ranks }
 
-// repartitionRank is the per-rank SPMD body.
+// repartitionRank is the per-rank SPMD body. Each rank owns a private
+// engine: replicated metadata, but snapshots, boundary sets and scratch
+// arenas are reused across the stages and refinement rounds of the run.
 func repartitionRank(c *comm.Comm, g *graph.Graph, a *partition.Assignment, opt Options) (*Result, error) {
 	res := &Result{}
+	eng := engine.New(g, engine.Options{})
 	t0 := c.Clock()
 	if err := passign(c, g, a); err != nil {
 		return nil, err
@@ -142,7 +146,7 @@ func repartitionRank(c *comm.Comm, g *graph.Graph, a *partition.Assignment, opt 
 			break
 		}
 		tL := c.Clock()
-		lay, err := player(c, g, a)
+		lay, err := player(c, eng, g, a)
 		if err != nil {
 			return nil, err
 		}
@@ -168,7 +172,7 @@ func repartitionRank(c *comm.Comm, g *graph.Graph, a *partition.Assignment, opt 
 
 	if opt.Refine {
 		tR := c.Clock()
-		rounds, err := prefine(c, g, a, opt)
+		rounds, err := prefine(c, eng, g, a, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -291,21 +295,22 @@ func passign(c *comm.Comm, g *graph.Graph, a *partition.Assignment) error {
 }
 
 // player is the parallel phase 2: every rank layers the graph (cheap on
-// replicated data) but is charged only for the partitions it owns, then
-// the δ rows of owned partitions are all-gathered — exactly the data a
-// distributed layering would exchange.
-func player(c *comm.Comm, g *graph.Graph, a *partition.Assignment) (*layering.Result, error) {
-	lay, err := layering.Layer(g, a)
+// replicated data, boundary-seeded through its engine) but is charged
+// only for the partitions it owns, then the δ rows of owned partitions
+// are all-gathered — exactly the data a distributed layering would
+// exchange.
+func player(c *comm.Comm, eng *engine.Engine, g *graph.Graph, a *partition.Assignment) (*layering.Result, error) {
+	lay, err := eng.Layer(a)
 	if err != nil {
 		return nil, err
 	}
 	ranks := c.Size()
 	work := 0
-	for _, v := range g.Vertices() {
+	g.ForEachVertex(func(v graph.Vertex) {
 		if owner(a.Part[v], ranks) == c.Rank() {
 			work += g.Degree(v) + 1
 		}
-	}
+	})
 	c.Advance(float64(2 * work))
 	// Exchange owned δ rows.
 	var rows [][]int
@@ -370,7 +375,11 @@ func migrate(c *comm.Comm, a *partition.Assignment, lay *layering.Result, flows 
 		}
 		if src != dst {
 			if c.Rank() == src {
-				if err := c.Send(dst, 1000+fi, pool[:f.Amount], 4*f.Amount); err != nil {
+				// Copy out of the engine-owned pool: the send is
+				// asynchronous and the arena is reused by the next
+				// layering, exactly like a real NIC copying a buffer.
+				msg := append([]graph.Vertex(nil), pool[:f.Amount]...)
+				if err := c.Send(dst, 1000+fi, msg, 4*f.Amount); err != nil {
 					return err
 				}
 			}
@@ -402,23 +411,23 @@ func migrate(c *comm.Comm, a *partition.Assignment, lay *layering.Result, flows 
 // partition, candidate counts b(i,j) all-gathered, the refinement LP
 // solved in parallel, and moves migrated like pbalance. Returns the
 // number of rounds performed.
-func prefine(c *comm.Comm, g *graph.Graph, a *partition.Assignment, opt Options) (int, error) {
+func prefine(c *comm.Comm, eng *engine.Engine, g *graph.Graph, a *partition.Assignment, opt Options) (int, error) {
 	ranks := c.Size()
 	best := a.Clone()
 	bestCut := partition.Cut(g, a).TotalWeight
 	rounds := 0
 	for round := 0; round < opt.refineRounds(); round++ {
 		strict := round >= opt.strictAfter()
-		cands, err := refine.Gains(g, a, strict)
+		cands, err := eng.Gains(a, strict)
 		if err != nil {
 			return rounds, err
 		}
 		work := 0
-		for _, v := range g.Vertices() {
+		g.ForEachVertex(func(v graph.Vertex) {
 			if owner(a.Part[v], ranks) == c.Rank() {
 				work += g.Degree(v)
 			}
-		}
+		})
 		c.Advance(float64(work))
 		var rows [][]int
 		for q := 0; q < a.P; q++ {
@@ -452,7 +461,9 @@ func prefine(c *comm.Comm, g *graph.Graph, a *partition.Assignment, opt Options)
 			if src != dst {
 				pool := cands.Pool(pairs[vi][0], pairs[vi][1])
 				if c.Rank() == src {
-					if err := c.Send(dst, 2000+vi, pool[:k], 4*k); err != nil {
+					// Copy out of the engine-owned pool (see migrate).
+					msg := append([]graph.Vertex(nil), pool[:k]...)
+					if err := c.Send(dst, 2000+vi, msg, 4*k); err != nil {
 						return rounds, err
 					}
 				}

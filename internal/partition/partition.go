@@ -71,13 +71,37 @@ func (a *Assignment) Validate(g *graph.Graph) error {
 	return nil
 }
 
+// ValidateCSR checks that the assignment covers a CSR snapshot: live
+// slots carry a partition in [0, P), dead slots are Unassigned. It is the
+// snapshot-side counterpart of Validate, used by the CSR kernels.
+func (a *Assignment) ValidateCSR(c *graph.CSR) error {
+	n := c.Order()
+	if len(a.Part) < n {
+		return fmt.Errorf("partition: assignment covers %d slots, snapshot has %d", len(a.Part), n)
+	}
+	for v := 0; v < n; v++ {
+		p := a.Part[v]
+		if c.Live[v] {
+			if p < 0 || int(p) >= a.P {
+				return fmt.Errorf("partition: live vertex %d has partition %d (P=%d)", v, p, a.P)
+			}
+		} else if p != Unassigned {
+			return fmt.Errorf("partition: dead vertex %d has partition %d", v, p)
+		}
+	}
+	return nil
+}
+
 // Weights returns the total vertex weight of each partition. Vertices
 // beyond the assignment's coverage count as Unassigned.
 func (a *Assignment) Weights(g *graph.Graph) []float64 {
 	w := make([]float64, a.P)
-	for _, v := range g.Vertices() {
-		if p := a.Of(v); p >= 0 {
-			w[p] += g.VertexWeight(v)
+	for v := 0; v < g.Order(); v++ {
+		if !g.Alive(graph.Vertex(v)) {
+			continue
+		}
+		if p := a.Of(graph.Vertex(v)); p >= 0 {
+			w[p] += g.VertexWeight(graph.Vertex(v))
 		}
 	}
 	return w
@@ -86,9 +110,21 @@ func (a *Assignment) Weights(g *graph.Graph) []float64 {
 // Sizes returns the live-vertex count of each partition. Vertices beyond
 // the assignment's coverage count as Unassigned.
 func (a *Assignment) Sizes(g *graph.Graph) []int {
-	s := make([]int, a.P)
-	for _, v := range g.Vertices() {
-		if p := a.Of(v); p >= 0 {
+	return a.SizesInto(make([]int, a.P), g)
+}
+
+// SizesInto fills s (which must have length a.P) with the live-vertex
+// count of each partition and returns it, allocating nothing. Repeated
+// callers (the balance stage loop) pass a reused buffer.
+func (a *Assignment) SizesInto(s []int, g *graph.Graph) []int {
+	for i := range s {
+		s[i] = 0
+	}
+	for v := 0; v < g.Order(); v++ {
+		if !g.Alive(graph.Vertex(v)) {
+			continue
+		}
+		if p := a.Of(graph.Vertex(v)); p >= 0 {
 			s[p]++
 		}
 	}
@@ -114,7 +150,11 @@ type CutStats struct {
 // contribute no cut edges.
 func Cut(g *graph.Graph, a *Assignment) CutStats {
 	st := CutStats{PerPart: make([]float64, a.P)}
-	for _, v := range g.Vertices() {
+	for vi := 0; vi < g.Order(); vi++ {
+		v := graph.Vertex(vi)
+		if !g.Alive(v) {
+			continue
+		}
 		pv := a.Of(v)
 		if pv < 0 {
 			continue
@@ -178,7 +218,13 @@ func Imbalance(g *graph.Graph, a *Assignment) float64 {
 // the balance-LP right-hand sides (the paper's per-partition average μ,
 // made integral).
 func Targets(n, p int) []int {
-	t := make([]int, p)
+	return TargetsInto(make([]int, p), n, p)
+}
+
+// TargetsInto is Targets into a reused buffer of capacity ≥ p, for
+// allocation-free callers; it returns the filled buffer.
+func TargetsInto(t []int, n, p int) []int {
+	t = t[:p]
 	q, r := n/p, n%p
 	for i := range t {
 		t[i] = q

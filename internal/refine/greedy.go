@@ -51,9 +51,7 @@ func Greedy(g *graph.Graph, a *partition.Assignment, maxMoves, maxSkew int) int 
 			}
 		}
 	}
-	for _, v := range g.Vertices() {
-		push(v)
-	}
+	g.ForEachVertex(push)
 	for h.Len() > 0 && moved < maxMoves {
 		it := heap.Pop(h).(gainItem)
 		if lockedMove[it.v] {

@@ -42,89 +42,211 @@ type Candidates struct {
 // Pool returns the candidates for the (i,j) pair, best gain first.
 func (c *Candidates) Pool(i, j int32) []graph.Vertex { return c.pools[i][j] }
 
+type cand struct {
+	v    graph.Vertex
+	gain float64
+}
+
+// Scratch holds the reusable state of the gains kernel. The zero value is
+// ready to use; buffers grow to the largest graph seen and are reused, so
+// steady-state gain scans allocate nothing. The Candidates returned by
+// its methods are owned by the Scratch and invalidated by the next call.
+type Scratch struct {
+	cands   Candidates
+	buckets [][]cand
+	out     []float64
+	touched []int32
+	sorter  candSorter
+	stamp   []uint32 // per-call vertex dedup marker (duplicate seeds)
+	gen     uint32
+}
+
+// candSorter orders candidates best gain first, vertex id as tiebreak — a
+// total order, so the result is independent of insertion order. It is a
+// reused sort.Interface so sorting costs no per-call allocation.
+type candSorter struct{ cs []cand }
+
+func (s *candSorter) Len() int { return len(s.cs) }
+func (s *candSorter) Less(i, j int) bool {
+	if s.cs[i].gain != s.cs[j].gain {
+		return s.cs[i].gain > s.cs[j].gain
+	}
+	return s.cs[i].v < s.cs[j].v
+}
+func (s *candSorter) Swap(i, j int) { s.cs[i], s.cs[j] = s.cs[j], s.cs[i] }
+
 // Gains scans all boundary vertices and builds the candidate pools.
 // strict selects the > 0 test instead of ≥ 0.
 func Gains(g *graph.Graph, a *partition.Assignment, strict bool) (*Candidates, error) {
+	var s Scratch
+	return s.Gains(g, a, strict)
+}
+
+// Gains is the scratch-reusing form of the package-level Gains.
+func (s *Scratch) Gains(g *graph.Graph, a *partition.Assignment, strict bool) (*Candidates, error) {
 	if err := a.Validate(g); err != nil {
 		return nil, fmt.Errorf("refine: %w", err)
 	}
-	p := a.P
-	c := &Candidates{
-		P:     p,
-		B:     make([][]int, p),
-		pools: make([][][]graph.Vertex, p),
-		Gain:  make([]float64, g.Order()),
+	c := s.grow(g.Order(), a.P)
+	for vi := 0; vi < g.Order(); vi++ {
+		v := graph.Vertex(vi)
+		if !g.Alive(v) {
+			continue
+		}
+		s.consider(v, g.Neighbors(v), g.EdgeWeights(v), a, strict)
 	}
+	s.finish()
+	return c, nil
+}
+
+// GainsSeeded runs the gains kernel over a CSR snapshot, examining only
+// the seed vertices. Every candidate has at least one foreign edge, so a
+// seed list containing all boundary vertices (duplicates and extras are
+// harmless) yields exactly the candidates a full scan would find.
+func (s *Scratch) GainsSeeded(c *graph.CSR, a *partition.Assignment, strict bool, seeds []graph.Vertex) (*Candidates, error) {
+	if err := a.ValidateCSR(c); err != nil {
+		return nil, fmt.Errorf("refine: %w", err)
+	}
+	out := s.grow(c.Order(), a.P)
+	for _, v := range seeds {
+		if !c.Live[v] {
+			continue
+		}
+		s.consider(v, c.Row(v), c.RowWeights(v), a, strict)
+	}
+	s.finish()
+	return out, nil
+}
+
+func (s *Scratch) grow(n, p int) *Candidates {
+	c := &s.cands
+	c.P = p
+	if cap(c.B) < p {
+		c.B = make([][]int, p)
+	}
+	c.B = c.B[:p]
+	if cap(c.pools) < p {
+		c.pools = make([][][]graph.Vertex, p)
+	}
+	c.pools = c.pools[:p]
 	for i := 0; i < p; i++ {
-		c.B[i] = make([]int, p)
-		c.pools[i] = make([][]graph.Vertex, p)
-	}
-	type cand struct {
-		v    graph.Vertex
-		gain float64
-	}
-	cands := make([][]cand, p*p)
-	out := make([]float64, p)
-	var touched []int32
-	for _, v := range g.Vertices() {
-		pv := a.Part[v]
-		var in float64
-		touched = touched[:0]
-		ws := g.EdgeWeights(v)
-		for k, u := range g.Neighbors(v) {
-			pu := a.Part[u]
-			if pu == pv {
-				in += ws[k]
-				continue
-			}
-			if out[pu] == 0 {
-				touched = append(touched, pu)
-			}
-			out[pu] += ws[k]
+		if cap(c.B[i]) < p {
+			c.B[i] = make([]int, p)
 		}
-		// A vertex may qualify toward several foreign partitions; it joins
-		// only the pool of its best one (ties toward the smaller id) so
-		// the pools are disjoint and Apply can realize any LP flow without
-		// moving a vertex twice — which would silently break the balance
-		// the zero-net-flow constraints guarantee.
-		bestJ := int32(-1)
-		var bestGain float64
-		for _, j := range touched {
-			gain := out[j] - in
-			out[j] = 0
-			if gain < 0 || (strict && gain == 0) {
-				continue
-			}
-			if bestJ < 0 || gain > bestGain || (gain == bestGain && j < bestJ) {
-				bestJ, bestGain = j, gain
-			}
+		c.B[i] = c.B[i][:p]
+		for j := range c.B[i] {
+			c.B[i][j] = 0
 		}
-		if bestJ >= 0 {
-			cands[int(pv)*p+int(bestJ)] = append(cands[int(pv)*p+int(bestJ)], cand{v, bestGain})
-			c.Gain[v] = bestGain
+		if cap(c.pools[i]) < p {
+			c.pools[i] = make([][]graph.Vertex, p)
+		}
+		c.pools[i] = c.pools[i][:p]
+		for j := range c.pools[i] {
+			c.pools[i][j] = c.pools[i][j][:0]
 		}
 	}
+	if cap(c.Gain) < n {
+		c.Gain = make([]float64, n)
+	}
+	c.Gain = c.Gain[:n]
+	for i := range c.Gain {
+		c.Gain[i] = 0
+	}
+	if cap(s.buckets) < p*p {
+		s.buckets = make([][]cand, p*p)
+	}
+	s.buckets = s.buckets[:p*p]
+	for i := range s.buckets {
+		s.buckets[i] = s.buckets[i][:0]
+	}
+	if cap(s.out) < p {
+		s.out = make([]float64, p)
+	}
+	s.out = s.out[:p]
+	for i := range s.out {
+		s.out[i] = 0
+	}
+	s.touched = s.touched[:0]
+	if cap(s.stamp) < n {
+		s.stamp = make([]uint32, n)
+	}
+	s.stamp = s.stamp[:n]
+	s.gen++
+	if s.gen == 0 { // wrapped: the stale stamps are ambiguous, clear them
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.gen = 1
+	}
+	return c
+}
+
+// consider classifies one vertex. A vertex may qualify toward several
+// foreign partitions; it joins only the pool of its best one (ties toward
+// the smaller id) so the pools are disjoint and Apply can realize any LP
+// flow without moving a vertex twice — which would silently break the
+// balance the zero-net-flow constraints guarantee.
+func (s *Scratch) consider(v graph.Vertex, adj []graph.Vertex, ws []float64, a *partition.Assignment, strict bool) {
+	if s.stamp[v] == s.gen {
+		return // duplicate seed: already classified this call
+	}
+	s.stamp[v] = s.gen
+	pv := a.Part[v]
+	var in float64
+	out := s.out
+	touched := s.touched[:0]
+	for k, u := range adj {
+		pu := a.Part[u]
+		if pu == pv {
+			in += ws[k]
+			continue
+		}
+		if out[pu] == 0 {
+			touched = append(touched, pu)
+		}
+		out[pu] += ws[k]
+	}
+	bestJ := int32(-1)
+	var bestGain float64
+	for _, j := range touched {
+		gain := out[j] - in
+		out[j] = 0
+		if gain < 0 || (strict && gain == 0) {
+			continue
+		}
+		if bestJ < 0 || gain > bestGain || (gain == bestGain && j < bestJ) {
+			bestJ, bestGain = j, gain
+		}
+	}
+	s.touched = touched[:0]
+	if bestJ >= 0 {
+		p := s.cands.P
+		s.buckets[int(pv)*p+int(bestJ)] = append(s.buckets[int(pv)*p+int(bestJ)], cand{v, bestGain})
+		s.cands.Gain[v] = bestGain
+	}
+}
+
+// finish sorts each pair's bucket into the pools.
+func (s *Scratch) finish() {
+	c := &s.cands
+	p := c.P
 	for i := 0; i < p; i++ {
 		for j := 0; j < p; j++ {
-			cs := cands[i*p+j]
+			cs := s.buckets[i*p+j]
 			if len(cs) == 0 {
 				continue
 			}
-			sort.Slice(cs, func(x, y int) bool {
-				if cs[x].gain != cs[y].gain {
-					return cs[x].gain > cs[y].gain
-				}
-				return cs[x].v < cs[y].v
-			})
-			pool := make([]graph.Vertex, len(cs))
-			for k, cd := range cs {
-				pool[k] = cd.v
+			s.sorter.cs = cs
+			sort.Sort(&s.sorter)
+			pool := c.pools[i][j]
+			for _, cd := range cs {
+				pool = append(pool, cd.v)
 			}
 			c.pools[i][j] = pool
 			c.B[i][j] = len(pool)
 		}
 	}
-	return c, nil
+	s.sorter.cs = nil
 }
 
 // Formulate builds the refinement LP over pairs with b(i,j) > 0.
@@ -201,21 +323,24 @@ type Options struct {
 	Solver lp.Solver
 }
 
-func (o Options) rounds() int {
+// Rounds returns MaxRounds with the default applied.
+func (o Options) Rounds() int {
 	if o.MaxRounds <= 0 {
 		return 8
 	}
 	return o.MaxRounds
 }
 
-func (o Options) strictAfter() int {
+// StrictAfterRounds returns StrictAfter with the default applied.
+func (o Options) StrictAfterRounds() int {
 	if o.StrictAfter <= 0 {
 		return 2
 	}
 	return o.StrictAfter
 }
 
-func (o Options) solver() lp.Solver {
+// ResolveSolver returns Solver with the default applied.
+func (o Options) ResolveSolver() lp.Solver {
 	if o.Solver == nil {
 		return lp.Bounded{}
 	}
@@ -237,16 +362,30 @@ type Stats struct {
 // partition sizes. It modifies a in place and keeps the best assignment
 // seen, so the result never has a worse cut than the input.
 func Refine(g *graph.Graph, a *partition.Assignment, opt Options) (*Stats, error) {
+	var scratch Scratch // one gains arena reused across rounds
+	st, _, err := Drive(g, a, opt, func(strict bool) (*Candidates, error) {
+		return scratch.Gains(g, a, strict)
+	}, nil)
+	return st, err
+}
+
+// Drive is the iterated refinement loop shared by the one-shot Refine and
+// the engine: each round it calls gains for the candidate pools, solves
+// the zero-net-flow LP, applies the moves, and tracks the best assignment
+// seen (restored at the end if a later round regressed). bestBuf, if
+// non-nil, is reused for the best-assignment snapshot; the (possibly
+// regrown) buffer is returned for the caller to keep.
+func Drive(g *graph.Graph, a *partition.Assignment, opt Options, gains func(strict bool) (*Candidates, error), bestBuf []int32) (*Stats, []int32, error) {
 	st := &Stats{}
 	st.CutBefore = partition.Cut(g, a).TotalWeight
-	best := a.Clone()
+	best := append(bestBuf[:0], a.Part...)
 	bestCut := st.CutBefore
 	cur := st.CutBefore
-	for round := 0; round < opt.rounds(); round++ {
-		strict := round >= opt.strictAfter()
-		cands, err := Gains(g, a, strict)
+	for round := 0; round < opt.Rounds(); round++ {
+		strict := round >= opt.StrictAfterRounds()
+		cands, err := gains(strict)
 		if err != nil {
-			return st, err
+			return st, best, err
 		}
 		prob, pairs := Formulate(cands)
 		if len(pairs) == 0 {
@@ -255,9 +394,9 @@ func Refine(g *graph.Graph, a *partition.Assignment, opt Options) (*Stats, error
 		if v, c := lp.DenseSize(prob); v > st.LPVars {
 			st.LPVars, st.LPCons = v, c
 		}
-		sol, err := opt.solver().Solve(prob)
+		sol, err := opt.ResolveSolver().Solve(prob)
 		if err != nil {
-			return st, fmt.Errorf("refine: %w", err)
+			return st, best, fmt.Errorf("refine: %w", err)
 		}
 		st.Iterations += sol.Iterations
 		if sol.Status != lp.Optimal || sol.Objective < 0.5 {
@@ -265,22 +404,22 @@ func Refine(g *graph.Graph, a *partition.Assignment, opt Options) (*Stats, error
 		}
 		moved, err := Apply(a, cands, pairs, sol.X)
 		if err != nil {
-			return st, err
+			return st, best, err
 		}
 		st.Rounds++
 		st.Moved += moved
 		cur = partition.Cut(g, a).TotalWeight
 		if cur < bestCut {
 			bestCut = cur
-			best = a.Clone()
+			best = append(best[:0], a.Part...)
 		}
 		if moved == 0 {
 			break
 		}
 	}
 	if cur > bestCut {
-		copy(a.Part, best.Part)
+		copy(a.Part, best)
 	}
 	st.CutAfter = bestCut
-	return st, nil
+	return st, best, nil
 }

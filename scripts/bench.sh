@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# bench.sh — verify step + phase-benchmark trajectory.
+#
+# Runs static checks (go vet, gofmt), then the hot-path phase benchmarks
+# with -benchmem, and writes the parsed results to BENCH_<N>.json (default
+# BENCH_1.json) at the repo root so successive PRs accumulate a
+# performance trajectory.
+#
+# Usage:  scripts/bench.sh [N]
+#   N        trajectory index (default 1)
+#   BENCH_FILTER   override the benchmark regexp
+#   BENCH_TIME     override -benchtime (default 200x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+idx="${1:-1}"
+out="BENCH_${idx}.json"
+filter="${BENCH_FILTER:-BenchmarkPhase_|BenchmarkRefine_|BenchmarkEngine_|BenchmarkFig11_IGP}"
+benchtime="${BENCH_TIME:-200x}"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== gofmt =="
+badfmt="$(gofmt -l . | grep -v '^vendor/' || true)"
+if [ -n "$badfmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$badfmt" >&2
+    exit 1
+fi
+
+echo "== go test (tier 1) =="
+go test ./... > /dev/null
+
+echo "== benchmarks ($filter) =="
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" . | tee "$raw"
+
+# Parse `BenchmarkName  N  X ns/op  Y B/op  Z allocs/op` lines into JSON.
+awk -v idx="$idx" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    rows[n++] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                        name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs))
+}
+END {
+    printf "{\n  \"trajectory\": %s,\n  \"benchmarks\": [\n", idx
+    for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n-1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out"
