@@ -1,0 +1,441 @@
+package igp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/lp"
+)
+
+// grownMesh builds a mesh with a localized burst of growth severe enough
+// that repartitioning needs at least one balancing stage.
+func grownMesh(t testing.TB, n, p, growth int, seed int64) (*Graph, *Assignment) {
+	t.Helper()
+	g, err := NewMeshGraph(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := PartitionRSB(g, p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := []Vertex{0}
+	for i := 0; i < growth; i++ {
+		v := g.AddVertex(1)
+		if err := g.AddEdge(v, prev[len(prev)-1], 1); err != nil {
+			t.Fatal(err)
+		}
+		prev = append(prev, v)
+	}
+	return g, a
+}
+
+// TestCancelMidBalanceLP is the acceptance test for context support: an
+// engine session is canceled — with a custom cause — at the instant the
+// first balance stage begins, so the abort is observed inside the
+// in-flight LP solve. The error must be the typed ErrCanceled wrapping
+// the cause, and the assignment must remain fully valid (no mid-move
+// corruption).
+func TestCancelMidBalanceLP(t *testing.T) {
+	g, a := grownMesh(t, 500, 8, 60, 7)
+	cause := errors.New("budget blown")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+
+	var sawBalanceStart atomic.Bool
+	var starts, ends atomic.Int64
+	eng, err := NewEngine(g,
+		WithRefine(),
+		// The deliberately slow instance: the paper's dense tableau over a
+		// severe localized burst keeps the pivot loop busy long enough that
+		// the cancellation must be observed inside Solve, not between
+		// phases.
+		WithSolver("dense"),
+		WithObserver(func(ev Event) {
+			switch ev.Kind {
+			case EventStart:
+				starts.Add(1)
+			case EventEnd:
+				ends.Add(1)
+			}
+			if ev.Kind == EventStart && ev.Phase == PhaseBalance {
+				sawBalanceStart.Store(true)
+				cancel(cause) // fire while the stage's LP is about to pivot
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var rerr error
+	go func() {
+		defer close(done)
+		_, rerr = eng.Repartition(ctx, a)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled repartition did not return within bound")
+	}
+
+	if !sawBalanceStart.Load() {
+		t.Fatal("test instance never reached a balance stage")
+	}
+	if rerr == nil {
+		t.Fatal("canceled repartition returned nil error")
+	}
+	if !errors.Is(rerr, ErrCanceled) {
+		t.Fatalf("error does not match ErrCanceled: %v", rerr)
+	}
+	// With a custom cause, context.Cause returns the cause itself — the
+	// wrapped chain must surface it.
+	if !errors.Is(rerr, cause) {
+		t.Fatalf("error does not wrap context.Cause: %v", rerr)
+	}
+	var typed *CanceledError
+	if !errors.As(rerr, &typed) {
+		t.Fatalf("error is not a *CanceledError: %v", rerr)
+	}
+	if typed.Op == "" {
+		t.Fatalf("CanceledError has no operation: %+v", typed)
+	}
+	// No partial assignment corruption: every live vertex still carries a
+	// valid partition (the abort may leave sizes unbalanced, never a
+	// half-applied move).
+	if err := a.Validate(g); err != nil {
+		t.Fatalf("assignment corrupted by abort: %v", err)
+	}
+	// Observer spans stay paired even on the abort path.
+	if starts.Load() != ends.Load() {
+		t.Fatalf("aborted run leaked observer spans: %d starts, %d ends", starts.Load(), ends.Load())
+	}
+}
+
+// TestCancelExpiredDeadline: an already-expired deadline aborts before
+// any work and surfaces context.DeadlineExceeded through the wrapper.
+func TestCancelExpiredDeadline(t *testing.T) {
+	g, a := grownMesh(t, 300, 4, 20, 3)
+	before := a.Clone()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := Repartition(ctx, g, a)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded in chain, got %v", err)
+	}
+	// The abort fired before any phase ran: a must be exactly untouched.
+	if len(a.Part) != len(before.Part) {
+		t.Fatalf("assignment resized by aborted call: %d → %d", len(before.Part), len(a.Part))
+	}
+	for v := range a.Part {
+		if a.Part[v] != before.Part[v] {
+			t.Fatalf("vertex %d moved by aborted call", v)
+		}
+	}
+}
+
+// TestEagerOptionValidation: misconfigurations are constructor errors,
+// reported by NewEngine (and one-shot Repartition) before any work.
+func TestEagerOptionValidation(t *testing.T) {
+	g := NewGraphWithVertices(4)
+	cases := []struct {
+		name string
+		opt  Option
+	}{
+		{"unknown solver", WithSolver("warp-drive")},
+		{"zero batches", WithBatches(0)},
+		{"negative batches", WithBatches(-2)},
+		{"zero max stages", WithMaxStages(0)},
+		{"negative max stages", WithMaxStages(-1)},
+		{"zero refine rounds", WithRefineRounds(0)},
+		{"negative refine rounds", WithRefineRounds(-3)},
+		{"negative tolerance", WithTolerance(-1)},
+		{"epsilon below 1", WithEpsilonMax(0.5)},
+		{"nil observer", WithObserver(nil)},
+		{"nil option", nil},
+	}
+	for _, tc := range cases {
+		if _, err := NewEngine(g, tc.opt); err == nil {
+			t.Errorf("%s: NewEngine accepted invalid option", tc.name)
+		}
+	}
+	// Valid configurations still construct.
+	if _, err := NewEngine(g,
+		WithRefineRounds(4), WithMaxStages(8), WithBatches(2),
+		WithEpsilonMax(4), WithTolerance(1),
+		WithSolver("revised"), WithObserver(func(Event) {})); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+}
+
+// TestObserverEventOrdering checks the WithObserver contract: spans are
+// properly paired and ordered (assign, then per-stage layer/balance,
+// then refine), stage numbers count up from 1, and the stage events'
+// measurements agree with the returned Stats.
+func TestObserverEventOrdering(t *testing.T) {
+	g, a := grownMesh(t, 500, 8, 60, 11)
+	var events []Event
+	eng, err := NewEngine(g, WithRefine(), WithObserver(func(ev Event) {
+		events = append(events, ev)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.Repartition(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 4 {
+		t.Fatalf("only %d events observed", len(events))
+	}
+	if events[0].Kind != EventStart || events[0].Phase != PhaseAssign {
+		t.Fatalf("first event = %+v, want assign start", events[0])
+	}
+	if events[1].Kind != EventEnd || events[1].Phase != PhaseAssign {
+		t.Fatalf("second event = %+v, want assign end", events[1])
+	}
+	if events[1].Moved != st.NewAssigned {
+		t.Fatalf("assign end reports %d, stats say %d", events[1].Moved, st.NewAssigned)
+	}
+
+	var open *Event // currently open span
+	stage := 0
+	balanceMoved := 0
+	balanceEnds := 0
+	var epsSeen []float64
+	refineStarted := false
+	for i := 2; i < len(events); i++ {
+		ev := events[i]
+		switch ev.Kind {
+		case EventStart:
+			if open != nil {
+				t.Fatalf("event %d: %v start while %v span open", i, ev.Phase, open.Phase)
+			}
+			open = &events[i]
+			switch ev.Phase {
+			case PhaseLayer:
+				if refineStarted {
+					t.Fatalf("event %d: layer after refine started", i)
+				}
+				if ev.Stage != stage+1 {
+					t.Fatalf("event %d: layer stage %d, want %d", i, ev.Stage, stage+1)
+				}
+			case PhaseBalance:
+				if ev.Stage != stage+1 {
+					t.Fatalf("event %d: balance stage %d, want %d", i, ev.Stage, stage+1)
+				}
+			case PhaseRefine:
+				refineStarted = true
+			}
+		case EventEnd:
+			if open == nil || open.Phase != ev.Phase || open.Stage != ev.Stage {
+				t.Fatalf("event %d: end %+v does not match open span %+v", i, ev, open)
+			}
+			open = nil
+			if ev.Phase == PhaseBalance {
+				stage = ev.Stage
+				balanceMoved += ev.Moved
+				balanceEnds++
+				epsSeen = append(epsSeen, ev.Epsilon)
+				if ev.Epsilon < 1 {
+					t.Fatalf("event %d: balance ε = %g < 1", i, ev.Epsilon)
+				}
+			}
+		case EventRound:
+			if !refineStarted || open == nil || open.Phase != PhaseRefine {
+				t.Fatalf("event %d: refine round outside refine span", i)
+			}
+			if ev.Stage < 1 {
+				t.Fatalf("event %d: round %d", i, ev.Stage)
+			}
+		}
+	}
+	if open != nil {
+		t.Fatalf("span %+v never closed", open)
+	}
+	if balanceEnds != st.Stages {
+		t.Fatalf("%d balance spans, stats say %d stages", balanceEnds, st.Stages)
+	}
+	if balanceMoved != st.BalanceMoved {
+		t.Fatalf("balance events moved %d, stats say %d", balanceMoved, st.BalanceMoved)
+	}
+	if len(epsSeen) != len(st.EpsilonUsed) {
+		t.Fatalf("ε events %v vs stats %v", epsSeen, st.EpsilonUsed)
+	}
+	for i := range epsSeen {
+		if epsSeen[i] != st.EpsilonUsed[i] {
+			t.Fatalf("ε events %v vs stats %v", epsSeen, st.EpsilonUsed)
+		}
+	}
+}
+
+// TestPhaseTimingsSumToElapsed: the per-phase wall-clock breakdown must
+// account for the bulk of Elapsed (the remainder is cut bookkeeping and
+// snapshot sync), and never exceed it.
+func TestPhaseTimingsSumToElapsed(t *testing.T) {
+	g, a := grownMesh(t, 2000, 16, 150, 13)
+	st, err := Repartition(context.Background(), g, a, WithRefine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := st.PhaseTimings.Total()
+	if total <= 0 {
+		t.Fatalf("no phase timings recorded: %+v", st.PhaseTimings)
+	}
+	if st.Elapsed <= 0 {
+		t.Fatalf("no elapsed recorded: %+v", st)
+	}
+	// Allow a sliver of clock skew, but phases are sub-spans of Elapsed.
+	if total > st.Elapsed+time.Millisecond {
+		t.Fatalf("phases (%v) exceed elapsed (%v)", total, st.Elapsed)
+	}
+	if total < st.Elapsed/4 {
+		t.Fatalf("phases (%v) cover under a quarter of elapsed (%v)", total, st.Elapsed)
+	}
+}
+
+// countingSolver wraps the bounded simplex, counting solves — the
+// "drop-in out-of-tree solver" the registry seam exists for.
+type countingSolver struct{ calls *atomic.Int64 }
+
+func (s countingSolver) Name() string { return "test-counting" }
+
+func (s countingSolver) Solve(ctx context.Context, p *LPProblem) (*LPSolution, error) {
+	s.calls.Add(1)
+	return lp.Bounded{}.Solve(ctx, p)
+}
+
+var countingCalls atomic.Int64
+
+func init() {
+	if err := RegisterSolver("test-counting", countingSolver{calls: &countingCalls}); err != nil {
+		panic(err)
+	}
+}
+
+// TestCustomSolverRegistry is the acceptance test for the public solver
+// seam: a custom solver registered via RegisterSolver is selectable by
+// name through WithSolver and actually drives the pipeline.
+func TestCustomSolverRegistry(t *testing.T) {
+	found := false
+	for _, n := range SolverNames() {
+		if n == "test-counting" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered solver missing from SolverNames: %v", SolverNames())
+	}
+	if err := RegisterSolver("test-counting", countingSolver{calls: &countingCalls}); err == nil {
+		t.Fatal("duplicate registration must error")
+	}
+	if err := RegisterSolver("", countingSolver{calls: &countingCalls}); err == nil {
+		t.Fatal("empty name must error")
+	}
+
+	g, a := grownMesh(t, 400, 8, 40, 17)
+	eng, err := NewEngine(g, WithRefine(), WithSolver("test-counting"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := countingCalls.Load()
+	if _, err := eng.Repartition(context.Background(), a); err != nil {
+		t.Fatal(err)
+	}
+	if got := countingCalls.Load() - before; got == 0 {
+		t.Fatal("custom solver was selected but never invoked")
+	}
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConvertStatsSteadyStateAllocs: converting engine stats into the
+// public Stats through a warm arena must not allocate, keeping the
+// session loop's bookkeeping off the heap.
+func TestConvertStatsSteadyStateAllocs(t *testing.T) {
+	src := &core.Stats{
+		NewAssigned:  12,
+		Stages:       []engine.StageStats{{Epsilon: 1, Moved: 4}, {Epsilon: 2, Moved: 2}, {Epsilon: 4}},
+		BalanceMoved: 6,
+		LPIterations: 99,
+		AssignTime:   time.Millisecond,
+		LayerTime:    2 * time.Millisecond,
+		BalanceTime:  3 * time.Millisecond,
+		RefineTime:   time.Millisecond,
+		Elapsed:      8 * time.Millisecond,
+	}
+	var dst Stats
+	convertStatsInto(&dst, src) // warm the EpsilonUsed arena
+	allocs := testing.AllocsPerRun(50, func() {
+		convertStatsInto(&dst, src)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state convertStatsInto allocates %.1f objects/op, want 0", allocs)
+	}
+	if dst.Stages != 3 || dst.BalanceMoved != 6 || dst.LPIterations != 99 {
+		t.Fatalf("conversion lost data: %+v", dst)
+	}
+	if got := dst.PhaseTimings.Total(); got != 7*time.Millisecond {
+		t.Fatalf("phase total = %v", got)
+	}
+}
+
+// TestEngineStatsArenaReuse documents the ownership contract: the Stats
+// returned by an Engine is overwritten by the next call.
+func TestEngineStatsArenaReuse(t *testing.T) {
+	g, a := grownMesh(t, 300, 4, 20, 19)
+	eng, err := NewEngine(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := eng.Repartition(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := *st1
+	st2, err := eng.Repartition(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Fatal("engine stats arena not reused")
+	}
+	_ = first
+	if st2.NewAssigned != 0 {
+		t.Fatalf("second pass assigned %d, want 0", st2.NewAssigned)
+	}
+}
+
+// ExampleWithObserver shows the event stream's shape.
+func ExampleWithObserver() {
+	g := NewGraphWithVertices(8)
+	for i := 0; i < 7; i++ {
+		_ = g.AddEdge(Vertex(i), Vertex(i+1), 1)
+	}
+	a := &Assignment{Part: []int32{0, 0, 0, 0, 1, 1, 1, 1}, P: 2}
+	for i := 0; i < 4; i++ {
+		v := g.AddVertex(1)
+		_ = g.AddEdge(v, 0, 1)
+	}
+	_, err := Repartition(context.Background(), g, a,
+		WithObserver(func(ev Event) {
+			if ev.Kind == EventEnd && ev.Phase == PhaseBalance {
+				fmt.Printf("stage %d: ε=%g moved=%d\n", ev.Stage, ev.Epsilon, ev.Moved)
+			}
+		}))
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output:
+	// stage 1: ε=1 moved=2
+}

@@ -13,6 +13,7 @@
 package igp
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -107,7 +108,7 @@ func benchIGP(b *testing.B, g *graph.Graph, base *partition.Assignment, withRefi
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := base.Clone()
-		if _, err := core.Repartition(g, a, core.Options{Refine: withRefine}); err != nil {
+		if _, err := core.Repartition(context.Background(), g, a, core.Options{Refine: withRefine}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -163,7 +164,7 @@ func benchSpeedup(b *testing.B, ranks int) {
 			b.Fatal(err)
 		}
 		a := f.base.Clone()
-		res, err := parallel.Repartition(w, g, a, parallel.Options{Refine: true})
+		res, err := parallel.Repartition(context.Background(), w, g, a, parallel.Options{Refine: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -186,7 +187,7 @@ func BenchmarkLPSize(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := f.base.Clone()
-		st, err := core.Repartition(g, a, core.Options{})
+		st, err := core.Repartition(context.Background(), g, a, core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -223,7 +224,7 @@ func benchSimplex(b *testing.B, s lp.Solver) {
 	prob := balanceLP(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sol, err := s.Solve(prob)
+		sol, err := s.Solve(context.Background(), prob)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -245,7 +246,7 @@ func unrefined(b *testing.B) (*graph.Graph, *partition.Assignment) {
 	f := meshA(b)
 	g := f.seq.Steps[0].Graph
 	a := f.base.Clone()
-	if _, err := core.Repartition(g, a, core.Options{}); err != nil {
+	if _, err := core.Repartition(context.Background(), g, a, core.Options{}); err != nil {
 		b.Fatal(err)
 	}
 	return g, a
@@ -282,7 +283,7 @@ func BenchmarkMultilevel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := f.base.Clone()
-		st, err := coarsen.MultilevelRepartition(g, a, coarsen.Options{})
+		st, err := coarsen.MultilevelRepartition(context.Background(), g, a, coarsen.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -318,13 +319,13 @@ func BenchmarkPhase_Layer(b *testing.B) {
 		b.Fatal(err)
 	}
 	eng := engine.New(g, engine.Options{})
-	if _, err := eng.Layer(a); err != nil {
+	if _, err := eng.Layer(context.Background(), a); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Layer(a); err != nil {
+		if _, err := eng.Layer(context.Background(), a); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -358,7 +359,7 @@ func BenchmarkPhase_LayerSmallEdit(b *testing.B) {
 		b.Fatal(err)
 	}
 	eng := engine.New(g, engine.Options{})
-	if _, err := eng.Layer(a); err != nil {
+	if _, err := eng.Layer(context.Background(), a); err != nil {
 		b.Fatal(err)
 	}
 	u, v := graph.Vertex(0), graph.Vertex(1)
@@ -370,7 +371,7 @@ func BenchmarkPhase_LayerSmallEdit(b *testing.B) {
 		} else {
 			_ = g.AddEdge(u, v, 1)
 		}
-		if _, err := eng.Layer(a); err != nil {
+		if _, err := eng.Layer(context.Background(), a); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -415,14 +416,14 @@ func BenchmarkEngine_SteadyRepartition(b *testing.B) {
 	base := f.base.Clone()
 	base.Grow(g.Order())
 	a := base.Clone()
-	if _, err := eng.Repartition(a); err != nil {
+	if _, err := eng.Repartition(context.Background(), a); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(a.Part, base.Part)
-		if _, err := eng.Repartition(a); err != nil {
+		if _, err := eng.Repartition(context.Background(), a); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -433,7 +434,7 @@ func BenchmarkPhase_BalanceLP(b *testing.B) {
 	s := lp.Bounded{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Solve(prob); err != nil {
+		if _, err := s.Solve(context.Background(), prob); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -511,7 +512,7 @@ func BenchmarkBatched(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := f.base.Clone()
-		if _, err := core.RepartitionInBatches(g, a, core.Options{}, 4); err != nil {
+		if _, err := core.RepartitionInBatches(context.Background(), g, a, core.Options{}, 4); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -14,40 +14,47 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	igp "repro"
 	"repro/internal/bench"
 	"repro/internal/lp"
 	"repro/internal/mesh"
 )
 
 func main() {
-	table := flag.String("table", "fig11", "table to regenerate: fig11|fig14|speedup|lpsize|baselines|refine|all")
+	table := flag.String("table", "fig11", "table to regenerate: fig11|fig14|speedup|lpsize|baselines|refine|phases|all")
 	seed := flag.Int64("seed", 1994, "workload seed")
 	p := flag.Int("p", 32, "number of partitions")
 	ranks := flag.Int("ranks", 32, "simulated machine size")
-	solver := flag.String("solver", "bounded", "sequential simplex: dense|bounded|revised")
+	solver := flag.String("solver", "bounded", "sequential simplex: "+strings.Join(igp.SolverNames(), "|"))
 	skipSim := flag.Bool("skipsim", false, "skip simulated parallel runs (no Time-p/Speedup)")
 	flag.Parse()
 
-	var s lp.Solver
-	switch *solver {
-	case "dense":
-		s = lp.Dense{}
-	case "bounded":
-		s = lp.Bounded{}
-	case "revised":
-		s = lp.Revised{}
-	default:
-		fmt.Fprintf(os.Stderr, "igpbench: unknown solver %q\n", *solver)
+	// The registry resolves built-ins and any solver an out-of-tree build
+	// registered, so -solver accepts every name SolverNames lists.
+	s, err := lp.Lookup(*solver)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "igpbench: %v\n", err)
 		os.Exit(2)
 	}
 	cfg := bench.Config{Seed: *seed, P: *p, Ranks: *ranks, Solver: s, SkipSim: *skipSim}
 
 	run := func(name string) bool { return *table == name || *table == "all" }
 	ok := false
+	if run("phases") {
+		ok = true
+		// Machine-readable per-phase timings for the bench.sh trajectory:
+		// one JSON object, mesh A first refinement under IGPR.
+		exitOn(printPhases(*seed, *p, *solver))
+		if *table == "phases" {
+			return
+		}
+	}
 	if run("fig11") {
 		ok = true
 		res, err := bench.Fig11(cfg)
@@ -110,4 +117,32 @@ func exitOn(err error) {
 		fmt.Fprintln(os.Stderr, "igpbench:", err)
 		os.Exit(1)
 	}
+}
+
+// printPhases repartitions mesh A's first refinement with IGPR through
+// the public API and emits Stats.PhaseTimings as one JSON object, the
+// record scripts/bench.sh folds into BENCH_<n>.json.
+func printPhases(seed int64, p int, solver string) error {
+	seq, err := mesh.PaperSequenceA(seed)
+	if err != nil {
+		return err
+	}
+	a, err := igp.PartitionRSB(seq.Base, p, seed)
+	if err != nil {
+		return err
+	}
+	g := seq.Steps[0].Graph
+	st, err := igp.Repartition(context.Background(), g, a,
+		igp.WithRefine(), igp.WithSolver(solver))
+	if err != nil {
+		return err
+	}
+	pt := st.PhaseTimings
+	fmt.Printf(`{"workload": "meshA-step1-igpr", "p": %d, "solver": %q, `+
+		`"assign_ns": %d, "layer_ns": %d, "balance_ns": %d, "refine_ns": %d, `+
+		`"elapsed_ns": %d, "stages": %d, "lp_iterations": %d, "moved": %d}`+"\n",
+		p, solver, pt.Assign.Nanoseconds(), pt.Layer.Nanoseconds(),
+		pt.Balance.Nanoseconds(), pt.Refine.Nanoseconds(), st.Elapsed.Nanoseconds(),
+		st.Stages, st.LPIterations, st.BalanceMoved+st.RefineMoved)
+	return nil
 }

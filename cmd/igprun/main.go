@@ -4,18 +4,22 @@
 //
 //	igprun -in mesh.graph -p 32 -mode rsb -out parts.txt
 //
-// Incrementally repartition a grown graph, reusing a previous assignment:
+// Incrementally repartition a grown graph, reusing a previous assignment,
+// with a hard wall-clock budget on the repair:
 //
-//	igprun -in mesh2.graph -p 32 -mode igpr -prev parts.txt -out parts2.txt
+//	igprun -in mesh2.graph -p 32 -mode igpr -prev parts.txt -timeout 2s -out parts2.txt
 //
 // The assignment format is one "vertex partition" pair per line with an
 // optional "igp-assignment <order> <P>" header.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	igp "repro"
 )
@@ -27,8 +31,11 @@ func main() {
 	p := flag.Int("p", 32, "number of partitions")
 	mode := flag.String("mode", "rsb", "rsb | igp | igpr")
 	seed := flag.Int64("seed", 1, "seed for spectral starts")
-	solver := flag.String("solver", "bounded", "simplex: dense|bounded|revised")
+	solver := flag.String("solver", "bounded", "simplex: "+strings.Join(igp.SolverNames(), "|"))
 	tol := flag.Int("tol", 0, "allowed per-partition deviation from the target size")
+	batches := flag.Int("batches", 1, "reveal new vertices in this many batches")
+	timeout := flag.Duration("timeout", 0, "abort the repartition after this long (0 = no limit)")
+	verbose := flag.Bool("v", false, "stream per-stage progress to stderr")
 	flag.Parse()
 
 	if *in == "" {
@@ -54,14 +61,40 @@ func main() {
 		a, err = igp.ReadAssignment(pf, g.Order(), *p)
 		pf.Close()
 		exitOn(err)
-		st, err := igp.Repartition(g, a, igp.Options{
-			Refine:    *mode == "igpr",
-			Solver:    igp.SolverName(*solver),
-			Tolerance: *tol,
-		})
+
+		opts := []igp.Option{
+			igp.WithSolver(*solver),
+			igp.WithTolerance(*tol),
+			igp.WithBatches(*batches),
+		}
+		if *mode == "igpr" {
+			opts = append(opts, igp.WithRefine())
+		}
+		if *verbose {
+			opts = append(opts, igp.WithObserver(func(ev igp.Event) {
+				if ev.Kind == igp.EventEnd && ev.Phase == igp.PhaseBalance {
+					fmt.Fprintf(os.Stderr, "igprun: stage %d: ε=%g moved=%d in %v\n",
+						ev.Stage, ev.Epsilon, ev.Moved, ev.Elapsed)
+				}
+			}))
+		}
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		st, err := igp.Repartition(ctx, g, a, opts...)
+		if errors.Is(err, igp.ErrCanceled) {
+			fmt.Fprintf(os.Stderr, "igprun: timed out after %v: %v\n", *timeout, err)
+			os.Exit(3)
+		}
 		exitOn(err)
-		fmt.Fprintf(os.Stderr, "igprun: %d new vertices, %d stages, %d moved, LP v=%d c=%d, %v\n",
-			st.NewAssigned, st.Stages, st.BalanceMoved+st.RefineMoved, st.LPVars, st.LPCons, st.Elapsed)
+		fmt.Fprintf(os.Stderr, "igprun: %d new vertices, %d stages, %d moved, LP v=%d c=%d (%d pivots), %v\n",
+			st.NewAssigned, st.Stages, st.BalanceMoved+st.RefineMoved, st.LPVars, st.LPCons, st.LPIterations, st.Elapsed)
+		pt := st.PhaseTimings
+		fmt.Fprintf(os.Stderr, "igprun: phases: assign=%v layer=%v balance=%v refine=%v\n",
+			pt.Assign, pt.Layer, pt.Balance, pt.Refine)
 	default:
 		fail("unknown mode " + *mode)
 	}

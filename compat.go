@@ -1,0 +1,31 @@
+package igp
+
+import "context"
+
+// This file keeps thin, deprecated wrappers for the pre-context,
+// struct-options API so existing callers migrate on their own schedule.
+// Each wrapper delegates to the primary context-aware surface with
+// context.Background() and a [WithOptions] bridge.
+
+// RepartitionWithOptions is the legacy one-shot entry point.
+//
+// Deprecated: Use [Repartition] with a context and functional options.
+func RepartitionWithOptions(g *Graph, a *Assignment, opt Options) (*Stats, error) {
+	return Repartition(context.Background(), g, a, WithOptions(opt))
+}
+
+// RepartitionInBatches reveals the new vertices in the given number of
+// groups and repartitions after each; batches = 1 is identical to a
+// single pass.
+//
+// Deprecated: Use [Repartition] with [WithBatches].
+func RepartitionInBatches(g *Graph, a *Assignment, opt Options, batches int) (*Stats, error) {
+	return Repartition(context.Background(), g, a, WithOptions(opt), WithBatches(batches))
+}
+
+// NewEngineWithOptions builds an engine from the legacy struct options.
+//
+// Deprecated: Use [NewEngine] with functional options.
+func NewEngineWithOptions(g *Graph, opt Options) (*Engine, error) {
+	return NewEngine(g, WithOptions(opt))
+}

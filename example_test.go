@@ -1,6 +1,7 @@
 package igp_test
 
 import (
+	"context"
 	"fmt"
 
 	igp "repro"
@@ -36,7 +37,7 @@ func Example() {
 		v := g.AddVertex(1)
 		_ = g.AddEdge(v, 0, 1)
 	}
-	st, err := igp.Repartition(g, a, igp.Options{})
+	st, err := igp.Repartition(context.Background(), g, a)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -50,7 +51,7 @@ func Example() {
 }
 
 // Repartitioning severe growth in batches bounds each stage's movement.
-func ExampleRepartitionInBatches() {
+func ExampleWithBatches() {
 	g := igp.NewGraphWithVertices(8)
 	for i := 0; i < 7; i++ {
 		_ = g.AddEdge(igp.Vertex(i), igp.Vertex(i+1), 1)
@@ -63,7 +64,7 @@ func ExampleRepartitionInBatches() {
 		_ = g.AddEdge(v, prev, 1)
 		prev = v
 	}
-	st, err := igp.RepartitionInBatches(g, a, igp.Options{}, 3)
+	st, err := igp.Repartition(context.Background(), g, a, igp.WithBatches(3))
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,9 +38,10 @@ func main() {
 	fmt.Printf("adaptive mesh, %d epochs × %d new vertices, P=%d\n\n", epochs, grow, parts)
 	fmt.Printf("%5s %7s %9s %9s %7s %7s %8s %9s\n",
 		"epoch", "|V|", "imb-stat", "imb-igp", "cut", "moved", "stages", "time")
+	ctx := context.Background()
 	for i, step := range seq.Steps {
 		g := step.Graph
-		st, err := igp.Repartition(g, a, igp.Options{Refine: true})
+		st, err := igp.Repartition(ctx, g, a, igp.WithRefine())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,13 +1,18 @@
-// Engine demonstrates the long-lived repartitioning engine on its
+// Engine demonstrates the long-lived repartitioning session on its
 // intended workload: one graph object edited in place across many epochs,
 // with one igp.Engine bound to it for the whole run. The engine consumes
 // the graph's edit journal, keeps its partition-boundary set
 // incrementally, refreshes its flat snapshot only when the graph actually
 // changed, and reuses its scratch arenas — so each epoch's repair does
 // work proportional to the edited region instead of the whole graph.
+//
+// Every epoch runs under a per-call deadline, and an observer streams the
+// engine's stage-level events — the instrumentation a live dashboard
+// would consume.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -31,16 +36,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := igp.NewEngine(g, igp.Options{Refine: true})
+	// The observer sees every stage span: print the balance stages of
+	// epoch 1 as a taste of the event stream.
+	epoch := 0
+	eng, err := igp.NewEngine(g,
+		igp.WithRefine(),
+		igp.WithObserver(func(ev igp.Event) {
+			if epoch == 1 && ev.Kind == igp.EventEnd && ev.Phase == igp.PhaseBalance {
+				fmt.Printf("      [event] balance stage %d: ε=%g moved=%d in %v\n",
+					ev.Stage, ev.Epsilon, ev.Moved, ev.Elapsed.Round(10*time.Microsecond))
+			}
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("engine-driven adaptive growth, %d epochs × %d new vertices, P=%d\n\n", epochs, grow, parts)
-	fmt.Printf("%5s %7s %9s %7s %7s %8s %9s\n",
-		"epoch", "|V|", "imb-igp", "cut", "moved", "stages", "time")
+	fmt.Printf("%5s %7s %9s %7s %7s %8s %9s %9s\n",
+		"epoch", "|V|", "imb-igp", "cut", "moved", "stages", "balance", "time")
 	rng := rand.New(rand.NewSource(7))
-	for epoch := 1; epoch <= epochs; epoch++ {
+	for epoch = 1; epoch <= epochs; epoch++ {
 		// A drifting hotspot: new vertices attach to a random existing
 		// vertex and to each other, like a refinement front moving through
 		// the mesh. The graph records these edits in its journal; the
@@ -62,15 +77,18 @@ func main() {
 			}
 			prev = v
 		}
-		t0 := time.Now()
-		st, err := eng.Repartition(a)
+		// Each repair gets a hard real-time budget; a blown deadline would
+		// surface as igp.ErrCanceled with the assignment still valid.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		st, err := eng.Repartition(ctx, a)
+		cancel()
 		if err != nil {
 			log.Fatalf("epoch %d: %v", epoch, err)
 		}
-		dur := time.Since(t0)
-		fmt.Printf("%5d %7d %9.3f %7d %7d %8d %9s\n",
+		fmt.Printf("%5d %7d %9.3f %7d %7d %8d %9s %9s\n",
 			epoch, g.NumVertices(), igp.Imbalance(g, a),
 			st.CutAfter.Total, st.BalanceMoved+st.RefineMoved, st.Stages,
-			dur.Round(100*time.Microsecond))
+			st.PhaseTimings.Balance.Round(100*time.Microsecond),
+			st.Elapsed.Round(100*time.Microsecond))
 	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -34,18 +35,21 @@ func main() {
 	fmt.Printf("refined: |V|=%d |E|=%d (+%d vertices in one region)\n",
 		g.NumVertices(), g.NumEdges(), big.NewVertices)
 
+	// A 30-second deadline guards the multi-stage path: a pathological
+	// instance aborts with igp.ErrCanceled instead of spinning.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 	inc := a.Clone()
-	t0 := time.Now()
-	st, err := igp.Repartition(g, inc, igp.Options{Refine: true})
+	st, err := igp.Repartition(ctx, g, inc, igp.WithRefine())
 	if err != nil {
 		log.Fatal(err)
 	}
-	igpTime := time.Since(t0)
+	igpTime := st.Elapsed
 	fmt.Printf("IGPR: %v, stages=%d (ε per stage %v), moved=%d, cut=%d, imbalance=%.3f\n",
 		igpTime, st.Stages, st.EpsilonUsed, st.BalanceMoved+st.RefineMoved,
 		igp.Cut(g, inc).Total, igp.Imbalance(g, inc))
 
-	t0 = time.Now()
+	t0 := time.Now()
 	fresh, err := igp.PartitionRSB(g, parts, 1994)
 	if err != nil {
 		log.Fatal(err)

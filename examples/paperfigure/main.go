@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -67,7 +68,7 @@ func main() {
 	fmt.Print(desc)
 
 	// Figures 6 and 9: solve + move, then refine.
-	st, err := igp.Repartition(g, a, igp.Options{Refine: true})
+	st, err := igp.Repartition(context.Background(), g, a, igp.WithRefine())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 	var t1 float64
 	for _, ranks := range []int{1, 2, 4, 8, 16, 32} {
 		ai := a.Clone()
-		res, err := igp.SimulateParallelRepartition(g, ai, ranks, igp.Options{Refine: true})
+		res, err := igp.SimulateParallelRepartition(context.Background(), g, ai, ranks, igp.WithRefine())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -39,20 +40,26 @@ func main() {
 	fmt.Printf("after growth: |V|=%d imbalance=%.3f (stale partition)\n",
 		g.NumVertices(), igp.Imbalance(g, a))
 
-	// 3. Incremental repartitioning (IGPR = balance + refinement).
-	t0 := time.Now()
-	st, err := igp.Repartition(g, a, igp.Options{Refine: true})
+	// 3. Incremental repartitioning (IGPR = balance + refinement). The
+	//    context caps the repair at one second — far more than it needs,
+	//    but the deadline would abort a pathological solve cleanly.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	st, err := igp.Repartition(ctx, g, a, igp.WithRefine())
 	if err != nil {
 		log.Fatal(err)
 	}
-	igpTime := time.Since(t0)
+	igpTime := st.Elapsed
 	cut = igp.Cut(g, a)
 	fmt.Printf("after IGPR: cut=%d imbalance=%.3f  (%d new assigned, %d stages, %d+%d moved, LP v=%d c=%d) in %v\n",
 		cut.Total, igp.Imbalance(g, a),
 		st.NewAssigned, st.Stages, st.BalanceMoved, st.RefineMoved, st.LPVars, st.LPCons, igpTime)
+	fmt.Printf("phase breakdown: assign=%v layer=%v balance=%v refine=%v (%d LP pivots)\n",
+		st.PhaseTimings.Assign, st.PhaseTimings.Layer, st.PhaseTimings.Balance,
+		st.PhaseTimings.Refine, st.LPIterations)
 
 	// 4. The baseline: re-partition from scratch with RSB.
-	t0 = time.Now()
+	t0 := time.Now()
 	fresh, err := igp.PartitionRSB(g, 32, 42)
 	if err != nil {
 		log.Fatal(err)

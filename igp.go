@@ -13,39 +13,54 @@
 //     load balancing by linear programming, and LP-based cut refinement
 //     (the paper's IGP and IGPR variants);
 //   - three simplex implementations (dense tableau as in the paper,
-//     bounded-variable, and sparse revised) plus a column-distributed
-//     parallel simplex;
+//     bounded-variable, and sparse revised) behind a pluggable, named
+//     Solver registry, plus a column-distributed parallel simplex;
 //   - a message-passing machine simulator calibrated to a 32-node CM-5,
 //     with an SPMD parallel implementation of the whole pipeline; and
 //   - DIME-style adaptive triangular mesh generation (incremental
 //     Delaunay with localized refinement) reproducing the paper's two
 //     experimental mesh families.
 //
-// Quick start:
+// # Quick start
 //
-//	g := igp.NewMeshGraph(1000, 42)      // or build a Graph by hand
-//	a, _ := igp.PartitionRSB(g, 32, 42)  // initial partition
-//	// ... the application refines its mesh: g gains vertices/edges ...
-//	stats, _ := igp.Repartition(g, a, igp.Options{Refine: true})
-//	fmt.Println(igp.Cut(g, a).Total, stats.BalanceMoved)
+// The primary surface is an [Engine]: a long-lived session bound to one
+// graph, configured once with functional options that are validated
+// eagerly at construction. The application loop edits the graph and
+// calls Repartition with a context that bounds each repair:
+//
+//	g, _ := igp.NewMeshGraph(1000, 42)       // or build a Graph by hand
+//	a, _ := igp.PartitionRSB(g, 32, 42)      // initial partition
+//	eng, _ := igp.NewEngine(g, igp.WithRefine(), igp.WithTolerance(2))
+//	for {
+//		// ... the application refines its mesh: g gains vertices/edges ...
+//		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+//		stats, err := eng.Repartition(ctx, a)
+//		cancel()
+//		if errors.Is(err, igp.ErrCanceled) {
+//			// deadline hit mid-solve: a is still valid, just unbalanced —
+//			// retry with a looser budget or repartition from scratch.
+//		}
+//		fmt.Println(stats.Elapsed, stats.PhaseTimings.Balance, igp.Cut(g, a).Total)
+//	}
+//
+// One-shot callers use [Repartition], which builds a throwaway engine;
+// severe growth can be absorbed gradually with [WithBatches]. Stage-level
+// progress streams to a [WithObserver] callback, per-phase wall-clock and
+// LP pivot totals land in [Stats], and alternative simplex
+// implementations — including out-of-tree ones added via
+// [RegisterSolver] — are selected by name with [WithSolver].
 package igp
 
 import (
 	"fmt"
 	"io"
-	"time"
 
 	"repro/internal/balance"
-	"repro/internal/comm"
-	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/layering"
 	"repro/internal/lp"
 	"repro/internal/mesh"
-	"repro/internal/parallel"
 	"repro/internal/partition"
-	"repro/internal/refine"
 	"repro/internal/spectral"
 )
 
@@ -131,230 +146,11 @@ func PartitionRSB(g *Graph, p int, seed int64) (*Assignment, error) {
 	return &Assignment{Part: part, P: p}, nil
 }
 
-// SolverName selects a simplex implementation.
-type SolverName string
-
-// Available simplex implementations.
-const (
-	SolverDense   SolverName = "dense"   // the paper's dense tableau
-	SolverBounded SolverName = "bounded" // implicit variable bounds (default)
-	SolverRevised SolverName = "revised" // sparse revised simplex
-)
-
-func (s SolverName) solver() (lp.Solver, error) {
-	switch s {
-	case SolverDense:
-		return lp.Dense{}, nil
-	case SolverBounded, "":
-		return lp.Bounded{}, nil
-	case SolverRevised:
-		return lp.Revised{}, nil
-	}
-	return nil, fmt.Errorf("igp: unknown solver %q", s)
-}
-
-// Options configures Repartition.
-type Options struct {
-	// Refine enables the cut-refinement phase (the paper's IGPR).
-	Refine bool
-	// Solver picks the simplex implementation (default bounded).
-	Solver SolverName
-	// EpsilonMax bounds the balance relaxation factor ε (default 8).
-	EpsilonMax float64
-	// MaxStages caps multi-stage balancing (default 16).
-	MaxStages int
-	// RefineRounds caps refinement LP rounds (default 8).
-	RefineRounds int
-	// Tolerance allows partition sizes to deviate from their ideal targets
-	// by up to this many vertices (default 0 = the paper's exact balance).
-	// Positive values trade residual imbalance for less vertex movement.
-	Tolerance int
-}
-
-// Stats reports what Repartition did.
-type Stats struct {
-	// NewAssigned is the number of new vertices placed in phase 1.
-	NewAssigned int
-	// Stages is the number of balancing stages used (the paper's IGP(k)).
-	Stages int
-	// EpsilonUsed lists the relaxation factor of each stage.
-	EpsilonUsed []float64
-	// BalanceMoved counts vertices moved for load balance.
-	BalanceMoved int
-	// RefineMoved counts vertices moved by refinement.
-	RefineMoved int
-	// LPVars and LPCons are the dense-formulation dimensions of the
-	// largest balance LP (the paper's v and c).
-	LPVars, LPCons int
-	// CutBefore and CutAfter report cutset quality around balancing and
-	// refinement.
-	CutBefore, CutAfter CutStats
-	// Elapsed is total wall-clock time.
-	Elapsed time.Duration
-}
-
-// ErrNeedRepartition is returned when incremental balancing cannot
-// succeed (the paper's advice: repartition from scratch, or add the new
-// vertices in batches).
-var ErrNeedRepartition = core.ErrNeedRepartition
-
-// Repartition incrementally updates assignment a to cover graph g:
-// vertices beyond a's coverage (or explicitly Unassigned) are treated as
-// new. On success the partition sizes are balanced within Tolerance and a
-// is updated in place.
-func Repartition(g *Graph, a *Assignment, opt Options) (*Stats, error) {
-	return repartition(g, a, opt, 1)
-}
-
-// RepartitionInBatches reveals the new vertices in the given number of
-// groups (ordered by distance from the old region) and repartitions after
-// each — the paper's §2.3 fallback for incremental changes too severe for
-// a single correction ("solve the problem by adding only a fraction of
-// the nodes at a given time"). batches = 1 is identical to Repartition.
-func RepartitionInBatches(g *Graph, a *Assignment, opt Options, batches int) (*Stats, error) {
-	return repartition(g, a, opt, batches)
-}
-
-func (opt Options) coreOptions() (core.Options, error) {
-	solver, err := opt.Solver.solver()
-	if err != nil {
-		return core.Options{}, err
-	}
-	return core.Options{
-		Solver:     solver,
-		EpsilonMax: opt.EpsilonMax,
-		MaxStages:  opt.MaxStages,
-		Tolerance:  opt.Tolerance,
-		Refine:     opt.Refine,
-		RefineOptions: refine.Options{
-			MaxRounds: opt.RefineRounds,
-			Solver:    solver,
-		},
-	}, nil
-}
-
-func convertStats(st *core.Stats, elapsed time.Duration) *Stats {
-	out := &Stats{
-		NewAssigned:  st.NewAssigned,
-		Stages:       len(st.Stages),
-		BalanceMoved: st.BalanceMoved,
-		CutBefore:    st.CutBefore,
-		CutAfter:     st.CutAfter,
-		Elapsed:      elapsed,
-	}
-	for _, sg := range st.Stages {
-		out.EpsilonUsed = append(out.EpsilonUsed, sg.Epsilon)
-	}
-	out.LPVars, out.LPCons = st.MaxLPSize()
-	if st.Refine != nil {
-		out.RefineMoved = st.Refine.Moved
-	}
-	return out
-}
-
-func repartition(g *Graph, a *Assignment, opt Options, batches int) (*Stats, error) {
-	copt, err := opt.coreOptions()
-	if err != nil {
-		return nil, err
-	}
-	t0 := time.Now()
-	var st *core.Stats
-	if batches == 1 {
-		st, err = core.Repartition(g, a, copt)
-	} else {
-		st, err = core.RepartitionInBatches(g, a, copt, batches)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return convertStats(st, time.Since(t0)), nil
-}
-
-// Engine is a long-lived repartitioner bound to one graph. Unlike the
-// one-shot Repartition function — which rebuilds its derived state on
-// every call — an Engine keeps a flat CSR snapshot of the graph (refreshed
-// only when the graph has actually been edited), maintains the
-// partition-boundary vertex set incrementally from the graph's edit
-// journal, and reuses all phase scratch memory, so steady-state
-// repartitioning after small edits performs near-zero heap allocation.
-//
-// Typical use mirrors an adaptive-mesh application's loop:
-//
-//	eng, _ := igp.NewEngine(g, igp.Options{Refine: true})
-//	for {
-//		// ... the application edits g ...
-//		stats, err := eng.Repartition(a)
-//	}
-//
-// An Engine is not safe for concurrent use.
-type Engine struct {
-	eng *engine.Engine
-}
-
-// NewEngine returns an engine bound to g. The first Repartition call pays
-// a full snapshot build; subsequent calls are incremental.
-func NewEngine(g *Graph, opt Options) (*Engine, error) {
-	copt, err := opt.coreOptions()
-	if err != nil {
-		return nil, err
-	}
-	return &Engine{eng: engine.New(g, copt)}, nil
-}
-
-// Repartition incrementally updates assignment a to cover the engine's
-// graph, exactly like the package-level Repartition but reusing the
-// engine's snapshots and scratch arenas.
-func (e *Engine) Repartition(a *Assignment) (*Stats, error) {
-	t0 := time.Now()
-	st, err := e.eng.Repartition(a)
-	if err != nil {
-		return nil, err
-	}
-	return convertStats(st, time.Since(t0)), nil
-}
-
 // Cut computes cutset statistics for a on g.
 func Cut(g *Graph, a *Assignment) CutStats { return partition.Cut(g, a) }
 
 // Imbalance returns max/mean partition weight (1.0 = perfectly balanced).
 func Imbalance(g *Graph, a *Assignment) float64 { return partition.Imbalance(g, a) }
-
-// ParallelResult reports a simulated distributed run.
-type ParallelResult struct {
-	// SimTime is the simulated makespan on the CM-5-calibrated machine.
-	SimTime time.Duration
-	// Messages and Bytes count point-to-point traffic.
-	Messages, Bytes int64
-	// Stages is the number of balancing stages used.
-	Stages int
-}
-
-// SimulateParallelRepartition runs the SPMD message-passing implementation
-// of the repartitioner on a simulated CM-5-like machine with the given
-// number of ranks, updating a in place (the parallel and sequential
-// results are equally balanced; tie-breaking may differ). The returned
-// SimTime is the simulated parallel makespan — run with ranks=1 to obtain
-// the simulated sequential time and divide for speedup.
-func SimulateParallelRepartition(g *Graph, a *Assignment, ranks int, opt Options) (*ParallelResult, error) {
-	w, err := comm.NewWorld(ranks, comm.CM5())
-	if err != nil {
-		return nil, err
-	}
-	res, err := parallel.Repartition(w, g, a, parallel.Options{
-		EpsilonMax: opt.EpsilonMax,
-		MaxStages:  opt.MaxStages,
-		Refine:     opt.Refine,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &ParallelResult{
-		SimTime:  res.SimTime,
-		Messages: res.Messages,
-		Bytes:    res.Bytes,
-		Stages:   res.Stages,
-	}, nil
-}
 
 // DescribeBalanceLP formats the load-balancing linear program the next
 // Repartition call would solve for (g, a) — the paper's Figure 5 view:

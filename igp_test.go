@@ -2,6 +2,7 @@ package igp
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -33,7 +34,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		}
 		prev = append(prev, v)
 	}
-	st, err := Repartition(g, a, Options{Refine: true})
+	st, err := Repartition(context.Background(), g, a, WithRefine())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,22 +44,41 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if st.Stages == 0 || st.LPVars == 0 {
 		t.Fatalf("missing stats: %+v", st)
 	}
+	if st.Elapsed <= 0 {
+		t.Fatalf("Elapsed not measured: %+v", st)
+	}
+	if st.LPIterations <= 0 {
+		t.Fatalf("LPIterations not measured: %+v", st)
+	}
 	if got := Imbalance(g, a); got > 1.02 {
 		t.Fatalf("post-repartition imbalance %g", got)
 	}
 }
 
 func TestPublicAPISolverNames(t *testing.T) {
-	for _, s := range []SolverName{SolverDense, SolverBounded, SolverRevised, ""} {
-		if _, err := s.solver(); err != nil {
-			t.Fatalf("%q: %v", s, err)
+	names := SolverNames()
+	for _, want := range []string{"bounded", "dense", "revised"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("built-in solver %q missing from registry %v", want, names)
 		}
 	}
-	if _, err := SolverName("nope").solver(); err == nil {
-		t.Fatal("unknown solver must error")
+	if _, err := NewEngine(NewGraphWithVertices(2), WithSolver("nope")); err == nil {
+		t.Fatal("unknown solver must error at NewEngine")
 	}
-	if _, err := Repartition(NewGraphWithVertices(2), &Assignment{Part: []int32{0, 0}, P: 1}, Options{Solver: "nope"}); err == nil {
-		t.Fatal("unknown solver must propagate")
+	if _, err := Repartition(context.Background(), NewGraphWithVertices(2),
+		&Assignment{Part: []int32{0, 0}, P: 1}, WithSolver("nope")); err == nil {
+		t.Fatal("unknown solver must error at Repartition")
+	}
+	for _, name := range []string{"dense", "bounded", "revised"} {
+		if _, err := NewEngine(NewGraphWithVertices(2), WithSolver(name)); err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
 	}
 }
 
@@ -95,12 +115,12 @@ func TestPublicAPISimulateParallel(t *testing.T) {
 		prev = append(prev, v)
 	}
 	a1 := a.Clone()
-	r1, err := SimulateParallelRepartition(g, a1, 1, Options{})
+	r1, err := SimulateParallelRepartition(context.Background(), g, a1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	a8 := a.Clone()
-	r8, err := SimulateParallelRepartition(g, a8, 8, Options{})
+	r8, err := SimulateParallelRepartition(context.Background(), g, a8, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +166,7 @@ func TestPublicAPIErrNeedRepartition(t *testing.T) {
 	for i := 0; i+1 < len(island); i++ {
 		_ = g.AddEdge(island[i], island[i+1], 1)
 	}
-	_, err := Repartition(g, a, Options{})
+	_, err := Repartition(context.Background(), g, a)
 	if err == nil {
 		return // balanced via the cluster fallback — acceptable
 	}
@@ -155,7 +175,7 @@ func TestPublicAPIErrNeedRepartition(t *testing.T) {
 	}
 }
 
-func TestPublicAPIRepartitionInBatches(t *testing.T) {
+func TestPublicAPIBatches(t *testing.T) {
 	g, err := NewMeshGraph(300, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -170,7 +190,7 @@ func TestPublicAPIRepartitionInBatches(t *testing.T) {
 		_ = g.AddEdge(v, prev[len(prev)-1], 1)
 		prev = append(prev, v)
 	}
-	st, err := RepartitionInBatches(g, a, Options{Refine: true}, 3)
+	st, err := Repartition(context.Background(), g, a, WithRefine(), WithBatches(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,8 +200,53 @@ func TestPublicAPIRepartitionInBatches(t *testing.T) {
 	if got := Imbalance(g, a); got > 1.05 {
 		t.Fatalf("imbalance %g", got)
 	}
-	if _, err := RepartitionInBatches(g, a, Options{}, 0); err == nil {
+}
+
+// TestPublicAPIDeprecatedWrappers keeps the legacy struct-options surface
+// working: the wrappers must delegate to the new pipeline (including the
+// eager solver-name check) without behavioral drift.
+func TestPublicAPIDeprecatedWrappers(t *testing.T) {
+	g, err := NewMeshGraph(300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := PartitionRSB(g, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := []Vertex{0}
+	for i := 0; i < 24; i++ {
+		v := g.AddVertex(1)
+		_ = g.AddEdge(v, prev[len(prev)-1], 1)
+		prev = append(prev, v)
+	}
+	aW := a.Clone()
+	stW, err := RepartitionWithOptions(g, aW, Options{Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stW.NewAssigned != 24 {
+		t.Fatalf("wrapper assigned %d, want 24", stW.NewAssigned)
+	}
+	aB := a.Clone()
+	if _, err := RepartitionInBatches(g, aB, Options{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := Imbalance(g, aB); got > 1.05 {
+		t.Fatalf("imbalance %g", got)
+	}
+	if _, err := RepartitionInBatches(g, a.Clone(), Options{}, 0); err == nil {
 		t.Fatal("0 batches must error")
+	}
+	if _, err := RepartitionWithOptions(g, a.Clone(), Options{Solver: "nope"}); err == nil {
+		t.Fatal("unknown solver must propagate through the wrapper")
+	}
+	eng, err := NewEngineWithOptions(g, Options{Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Repartition(context.Background(), a.Clone()); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -201,12 +266,12 @@ func TestPublicAPITolerance(t *testing.T) {
 		prev = append(prev, v)
 	}
 	exact := a.Clone()
-	stExact, err := Repartition(g, exact, Options{})
+	stExact, err := Repartition(context.Background(), g, exact)
 	if err != nil {
 		t.Fatal(err)
 	}
 	loose := a.Clone()
-	stLoose, err := Repartition(g, loose, Options{Tolerance: 3})
+	stLoose, err := Repartition(context.Background(), g, loose, WithTolerance(3))
 	if err != nil {
 		t.Fatal(err)
 	}

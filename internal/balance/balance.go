@@ -13,6 +13,7 @@
 package balance
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -178,8 +179,10 @@ func (m *Model) Flows(sol *lp.Solution) ([]Flow, error) {
 
 // Solve runs the solver and converts the LP solution to integral flows.
 // Status is passed through: callers must check it before using the flows.
-func Solve(m *Model, solver lp.Solver) ([]Flow, *lp.Solution, error) {
-	sol, err := solver.Solve(m.Prob)
+// A done context aborts the solve with an error matching
+// cancel.ErrCanceled; no flows are produced.
+func Solve(ctx context.Context, m *Model, solver lp.Solver) ([]Flow, *lp.Solution, error) {
+	sol, err := solver.Solve(ctx, m.Prob)
 	if err != nil {
 		return nil, nil, fmt.Errorf("balance: %w", err)
 	}
@@ -218,13 +221,13 @@ func Apply(a *partition.Assignment, lay *layering.Result, flows []Flow) (int, er
 // Step runs one complete balancing stage (formulate → solve → apply) with
 // the given ε. It reports the flows applied and the LP solution; when the
 // LP is infeasible it returns ok=false with nothing applied.
-func Step(g *graph.Graph, a *partition.Assignment, lay *layering.Result, targets []int, eps float64, solver lp.Solver) (flows []Flow, sol *lp.Solution, ok bool, err error) {
+func Step(ctx context.Context, g *graph.Graph, a *partition.Assignment, lay *layering.Result, targets []int, eps float64, solver lp.Solver) (flows []Flow, sol *lp.Solution, ok bool, err error) {
 	sizes := a.Sizes(g)
 	m, err := Formulate(lay.Delta, sizes, targets, eps)
 	if err != nil {
 		return nil, nil, false, err
 	}
-	flows, sol, err = Solve(m, solver)
+	flows, sol, err = Solve(ctx, m, solver)
 	if err != nil {
 		return nil, sol, false, err
 	}

@@ -1,6 +1,7 @@
 package balance
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -112,7 +113,7 @@ func TestStepBalancesStripes(t *testing.T) {
 			t.Fatal(err)
 		}
 		targets := partition.Targets(g.NumVertices(), 3)
-		flows, sol, ok, err := Step(g, a, lay, targets, 1, solver)
+		flows, sol, ok, err := Step(context.Background(), g, a, lay, targets, 1, solver)
 		if err != nil {
 			t.Fatalf("%s: %v", solver.Name(), err)
 		}
@@ -147,7 +148,7 @@ func TestStepMovesBoundaryFirst(t *testing.T) {
 	}
 	before := a.Clone()
 	targets := partition.Targets(g.NumVertices(), 3)
-	_, _, ok, err := Step(g, a, lay, targets, 1, lp.Bounded{})
+	_, _, ok, err := Step(context.Background(), g, a, lay, targets, 1, lp.Bounded{})
 	if err != nil || !ok {
 		t.Fatalf("step failed: %v ok=%v", err, ok)
 	}
@@ -189,7 +190,7 @@ func TestStepInfeasibleWithoutAdjacency(t *testing.T) {
 		t.Fatal(err)
 	}
 	targets := partition.Targets(8, 2)
-	_, sol, ok, err := Step(g, a, lay, targets, 1, lp.Bounded{})
+	_, sol, ok, err := Step(context.Background(), g, a, lay, targets, 1, lp.Bounded{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,11 +230,11 @@ func TestEpsilonReducesMovement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f1, s1, err := Solve(m1, lp.Bounded{})
+	f1, s1, err := Solve(context.Background(), m1, lp.Bounded{})
 	if err != nil || s1.Status != lp.Optimal {
 		t.Fatalf("eps=1: %v %v", err, s1.Status)
 	}
-	f2, s2, err := Solve(m2, lp.Bounded{})
+	f2, s2, err := Solve(context.Background(), m2, lp.Bounded{})
 	if err != nil || s2.Status != lp.Optimal {
 		t.Fatalf("eps=2: %v %v", err, s2.Status)
 	}
@@ -281,7 +282,7 @@ func TestPropertyStepNeverWorsensBalance(t *testing.T) {
 		}
 		targets := partition.Targets(g.NumVertices(), p)
 		imbBefore := maxDev(a.Sizes(g), targets)
-		_, _, ok, err := Step(g, a, lay, targets, 1, lp.Bounded{})
+		_, _, ok, err := Step(context.Background(), g, a, lay, targets, 1, lp.Bounded{})
 		if err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false
@@ -327,11 +328,11 @@ func TestFormulateTolReducesMovement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fe, se, err := Solve(exact, lp.Bounded{})
+	fe, se, err := Solve(context.Background(), exact, lp.Bounded{})
 	if err != nil || se.Status != lp.Optimal {
 		t.Fatalf("exact: %v %v", err, se)
 	}
-	fl, sl, err := Solve(loose, lp.Bounded{})
+	fl, sl, err := Solve(context.Background(), loose, lp.Bounded{})
 	if err != nil || sl.Status != lp.Optimal {
 		t.Fatalf("loose: %v %v", err, sl)
 	}
@@ -366,7 +367,7 @@ func TestFormulateTolSlackSatisfiesBand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	flows, sol, err := Solve(m, lp.Bounded{})
+	flows, sol, err := Solve(context.Background(), m, lp.Bounded{})
 	if err != nil || sol.Status != lp.Optimal {
 		t.Fatalf("%v %v", err, sol)
 	}

@@ -15,6 +15,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -110,7 +111,7 @@ func runSB(g *graph.Graph, cfg Config) (MethodResult, *partition.Assignment, err
 func runIGP(g *graph.Graph, prev *partition.Assignment, cfg Config, withRefine bool) (MethodResult, *partition.Assignment, error) {
 	a := prev.Clone()
 	t0 := time.Now()
-	st, err := core.Repartition(g, a, core.Options{
+	st, err := core.Repartition(context.Background(), g, a, core.Options{
 		Solver: cfg.Solver,
 		Refine: withRefine,
 	})
@@ -132,7 +133,7 @@ func runIGP(g *graph.Graph, prev *partition.Assignment, cfg Config, withRefine b
 				return 0, err
 			}
 			ap := prev.Clone()
-			r, err := parallel.Repartition(w, g, ap, parallel.Options{Refine: withRefine})
+			r, err := parallel.Repartition(context.Background(), w, g, ap, parallel.Options{Refine: withRefine})
 			if err != nil {
 				return 0, err
 			}
@@ -288,7 +289,7 @@ func SpeedupCurve(seq *mesh.Sequence, cfg Config, rankList []int) ([]SpeedupPoin
 			return nil, err
 		}
 		a := baseA.Clone()
-		r, err := parallel.Repartition(w, g, a, parallel.Options{Refine: true})
+		r, err := parallel.Repartition(context.Background(), w, g, a, parallel.Options{Refine: true})
 		if err != nil {
 			return nil, err
 		}
@@ -339,7 +340,7 @@ func LPSizeTable(sizes []int, cfg Config) ([]LPSizeRow, error) {
 		}
 		a := &partition.Assignment{Part: basePart, P: cfg.P}
 		g := seq.Steps[0].Graph
-		st, err := core.Repartition(g, a, core.Options{Solver: cfg.Solver})
+		st, err := core.Repartition(context.Background(), g, a, core.Options{Solver: cfg.Solver})
 		if err != nil {
 			return nil, err
 		}
@@ -449,13 +450,13 @@ func RefineComparison(seq *mesh.Sequence, cfg Config) (*RefineQuality, error) {
 
 	out := &RefineQuality{}
 	aIGP := baseA.Clone()
-	if _, err := core.Repartition(g, aIGP, core.Options{Solver: cfg.Solver}); err != nil {
+	if _, err := core.Repartition(context.Background(), g, aIGP, core.Options{Solver: cfg.Solver}); err != nil {
 		return nil, err
 	}
 	out.CutIGP = partition.Cut(g, aIGP).Total
 
 	aIGPR := baseA.Clone()
-	if _, err := core.Repartition(g, aIGPR, core.Options{Solver: cfg.Solver, Refine: true}); err != nil {
+	if _, err := core.Repartition(context.Background(), g, aIGPR, core.Options{Solver: cfg.Solver, Refine: true}); err != nil {
 		return nil, err
 	}
 	out.CutIGPR = partition.Cut(g, aIGPR).Total

@@ -1,0 +1,53 @@
+// Package cancel defines the typed cancellation error shared by every
+// stage of the repartitioning pipeline. The long-running inner loops —
+// simplex pivots, layering BFS levels, balancing stages, refinement
+// rounds — poll their context through Check and abort with an *Error
+// that wraps context.Cause, so callers can distinguish "the solve was
+// canceled" (errors.Is(err, ErrCanceled)) from "the instance is
+// infeasible" and still recover the deadline/cancel cause.
+package cancel
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrCanceled is the sentinel matched by errors.Is for every abort the
+// pipeline performs on behalf of a done context.
+var ErrCanceled = errors.New("canceled by context")
+
+// Error is the typed cancellation error: Op names the pipeline stage
+// that observed the done context, Cause carries context.Cause at that
+// moment (context.Canceled, context.DeadlineExceeded, or the cause
+// passed to CancelCauseFunc).
+type Error struct {
+	Op    string
+	Cause error
+}
+
+func (e *Error) Error() string {
+	if e.Cause == nil {
+		return "igp: " + e.Op + " canceled"
+	}
+	return "igp: " + e.Op + " canceled: " + e.Cause.Error()
+}
+
+// Unwrap exposes the context cause so errors.Is(err, context.Canceled)
+// and errors.Is(err, context.DeadlineExceeded) work.
+func (e *Error) Unwrap() error { return e.Cause }
+
+// Is matches the ErrCanceled sentinel.
+func (e *Error) Is(target error) bool { return target == ErrCanceled }
+
+// Check returns nil while ctx is live and a typed *Error once it is
+// done. It allocates only on the abort path, so hot loops may call it
+// freely (though typically only every few hundred iterations).
+func Check(ctx context.Context, op string) error {
+	if ctx == nil {
+		return nil
+	}
+	if ctx.Err() == nil {
+		return nil
+	}
+	return &Error{Op: op, Cause: context.Cause(ctx)}
+}

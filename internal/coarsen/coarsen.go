@@ -19,6 +19,7 @@
 package coarsen
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -141,7 +142,7 @@ func Contract(g *graph.Graph, a *partition.Assignment, match []graph.Vertex) (*g
 // moving whole clusters boundary-first. Flows are computed in fine-vertex
 // units from weighted δ bounds; each flow is realized greedily without
 // overshooting, so a small residual may remain for the fine polish.
-func coarseBalance(gc *graph.Graph, ca *partition.Assignment, targets []int, solver lp.Solver) (moved int, err error) {
+func coarseBalance(ctx context.Context, gc *graph.Graph, ca *partition.Assignment, targets []int, solver lp.Solver) (moved int, err error) {
 	lay, err := layering.Layer(gc, ca)
 	if err != nil {
 		return 0, err
@@ -168,7 +169,7 @@ func coarseBalance(gc *graph.Graph, ca *partition.Assignment, targets []int, sol
 	if err != nil {
 		return 0, err
 	}
-	flows, sol, err := balance.Solve(m, solver)
+	flows, sol, err := balance.Solve(ctx, m, solver)
 	if err != nil {
 		return 0, err
 	}
@@ -197,7 +198,7 @@ func coarseBalance(gc *graph.Graph, ca *partition.Assignment, targets []int, sol
 // coarsen/balance/uncoarsen cycle followed by a fine-level polish. The
 // assignment a is updated in place; partition sizes end exactly balanced
 // (the polish guarantees it).
-func MultilevelRepartition(g *graph.Graph, a *partition.Assignment, opt Options) (*Stats, error) {
+func MultilevelRepartition(ctx context.Context, g *graph.Graph, a *partition.Assignment, opt Options) (*Stats, error) {
 	st := &Stats{}
 	if _, _, err := core.Assign(g, a); err != nil {
 		return nil, err
@@ -211,7 +212,7 @@ func MultilevelRepartition(g *graph.Graph, a *partition.Assignment, opt Options)
 		solver = lp.Bounded{}
 	}
 	targets := partition.Targets(g.NumVertices(), a.P)
-	moved, err := coarseBalance(gc, ca, targets, solver)
+	moved, err := coarseBalance(ctx, gc, ca, targets, solver)
 	if err != nil {
 		return nil, fmt.Errorf("coarsen: %w", err)
 	}
@@ -224,7 +225,7 @@ func MultilevelRepartition(g *graph.Graph, a *partition.Assignment, opt Options)
 
 	// Fine polish: the residual imbalance is at most a few cluster
 	// granularities, so this converges in one or two cheap stages.
-	fine, err := core.Repartition(g, a, opt.Inner)
+	fine, err := core.Repartition(ctx, g, a, opt.Inner)
 	if err != nil {
 		return nil, err
 	}

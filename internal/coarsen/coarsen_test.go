@@ -1,6 +1,7 @@
 package coarsen
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -102,7 +103,7 @@ func TestMultilevelBalancesGrownGraph(t *testing.T) {
 		_ = g.AddEdge(v, prev[rng.Intn(len(prev))], 1)
 		prev = append(prev, v)
 	}
-	st, err := MultilevelRepartition(g, a, Options{})
+	st, err := MultilevelRepartition(context.Background(), g, a, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestMultilevelMatchesDirectQuality(t *testing.T) {
 		return g, a
 	}
 	g1, a1 := build()
-	if _, err := MultilevelRepartition(g1, a1, Options{}); err != nil {
+	if _, err := MultilevelRepartition(context.Background(), g1, a1, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	mlCut := partition.Cut(g1, a1).TotalWeight

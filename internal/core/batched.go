@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/partition"
 )
@@ -19,7 +21,7 @@ import (
 // Stats from the per-batch runs are aggregated; Stages carries the
 // concatenation (its length is the paper's total stage count across
 // batches).
-func RepartitionInBatches(g *graph.Graph, a *partition.Assignment, opt Options, numBatches int) (*Stats, error) {
+func RepartitionInBatches(ctx context.Context, g *graph.Graph, a *partition.Assignment, opt Options, numBatches int) (*Stats, error) {
 	if numBatches < 1 {
 		return nil, fmt.Errorf("core: batched repartition needs ≥ 1 batch, got %d", numBatches)
 	}
@@ -47,7 +49,7 @@ func RepartitionInBatches(g *graph.Graph, a *partition.Assignment, opt Options, 
 		numBatches = len(news)
 	}
 	if len(news) == 0 || numBatches == 1 {
-		return Repartition(g, a, opt)
+		return Repartition(ctx, g, a, opt)
 	}
 
 	// Order new vertices by distance from the old region; unreachable
@@ -71,6 +73,9 @@ func RepartitionInBatches(g *graph.Graph, a *partition.Assignment, opt Options, 
 	agg := &Stats{}
 	revealed := append([]graph.Vertex(nil), olds...)
 	for b := 0; b < numBatches; b++ {
+		if err := cancel.Check(ctx, "batched repartition"); err != nil {
+			return agg, err
+		}
 		lo := b * len(news) / numBatches
 		hi := (b + 1) * len(news) / numBatches
 		revealed = append(revealed, news[lo:hi]...)
@@ -80,7 +85,7 @@ func RepartitionInBatches(g *graph.Graph, a *partition.Assignment, opt Options, 
 		for sv, old := range newToOld {
 			subA.Part[sv] = a.Part[old]
 		}
-		st, err := Repartition(sub, subA, opt)
+		st, err := Repartition(ctx, sub, subA, opt)
 		if err != nil {
 			return agg, fmt.Errorf("core: batch %d/%d: %w", b+1, numBatches, err)
 		}
@@ -95,11 +100,28 @@ func RepartitionInBatches(g *graph.Graph, a *partition.Assignment, opt Options, 
 		agg.LayerTime += st.LayerTime
 		agg.BalanceTime += st.BalanceTime
 		agg.RefineTime += st.RefineTime
+		agg.Elapsed += st.Elapsed
+		agg.LPIterations += st.LPIterations
 		if b == 0 {
 			agg.CutBefore = st.CutBefore
 		}
 		agg.CutAfter = st.CutAfter
-		agg.Refine = st.Refine
+		// Accumulate refinement across batches (movement and pivot totals
+		// sum; the LP-size high-water mark and final cut carry the max/last).
+		if st.Refine != nil {
+			if agg.Refine == nil {
+				cp := *st.Refine
+				agg.Refine = &cp
+			} else {
+				agg.Refine.Moved += st.Refine.Moved
+				agg.Refine.Rounds += st.Refine.Rounds
+				agg.Refine.Iterations += st.Refine.Iterations
+				if st.Refine.LPVars > agg.Refine.LPVars {
+					agg.Refine.LPVars, agg.Refine.LPCons = st.Refine.LPVars, st.Refine.LPCons
+				}
+				agg.Refine.CutAfter = st.Refine.CutAfter
+			}
+		}
 	}
 	return agg, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -12,7 +13,7 @@ func TestBatchedMatchesOneShotBalance(t *testing.T) {
 	for _, batches := range []int{1, 2, 3, 5} {
 		rng := rand.New(rand.NewSource(7))
 		g, a := grownGrid(8, 16, 4, 30, rng)
-		st, err := RepartitionInBatches(g, a, Options{Refine: true}, batches)
+		st, err := RepartitionInBatches(context.Background(), g, a, Options{Refine: true}, batches)
 		if err != nil {
 			t.Fatalf("batches=%d: %v", batches, err)
 		}
@@ -35,7 +36,7 @@ func TestBatchedMatchesOneShotBalance(t *testing.T) {
 func TestBatchedStagesAccumulate(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	g, a := grownGrid(8, 16, 4, 40, rng)
-	st, err := RepartitionInBatches(g, a, Options{}, 4)
+	st, err := RepartitionInBatches(context.Background(), g, a, Options{}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,11 +50,11 @@ func TestBatchedArgErrors(t *testing.T) {
 	g := graph.Path(4)
 	a := partition.New(4, 2)
 	a.Part = []int32{0, 0, 1, 1}
-	if _, err := RepartitionInBatches(g, a, Options{}, 0); err == nil {
+	if _, err := RepartitionInBatches(context.Background(), g, a, Options{}, 0); err == nil {
 		t.Fatal("0 batches must error")
 	}
 	b := partition.New(4, 2)
-	if _, err := RepartitionInBatches(g, b, Options{}, 2); err == nil {
+	if _, err := RepartitionInBatches(context.Background(), g, b, Options{}, 2); err == nil {
 		t.Fatal("no old assignment must error")
 	}
 }
@@ -64,7 +65,7 @@ func TestBatchedNoNewVertices(t *testing.T) {
 	for v := 0; v < g.Order(); v++ {
 		a.Part[v] = int32(v % 2)
 	}
-	if _, err := RepartitionInBatches(g, a, Options{}, 3); err != nil {
+	if _, err := RepartitionInBatches(context.Background(), g, a, Options{}, 3); err != nil {
 		t.Fatal(err)
 	}
 	if !partition.Balanced(a.Sizes(g)) {
@@ -75,7 +76,7 @@ func TestBatchedNoNewVertices(t *testing.T) {
 func TestBatchedMoreBatchesThanVertices(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g, a := grownGrid(6, 12, 3, 4, rng)
-	if _, err := RepartitionInBatches(g, a, Options{}, 50); err != nil {
+	if _, err := RepartitionInBatches(context.Background(), g, a, Options{}, 50); err != nil {
 		t.Fatal(err)
 	}
 	if !partition.Balanced(a.Sizes(g)) {
@@ -91,12 +92,12 @@ func TestBatchedSmallerPerStageMovement(t *testing.T) {
 		return grownGrid(8, 16, 4, 48, rng)
 	}
 	g1, a1 := build()
-	one, err := Repartition(g1, a1, Options{})
+	one, err := Repartition(context.Background(), g1, a1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	g2, a2 := build()
-	many, err := RepartitionInBatches(g2, a2, Options{}, 5)
+	many, err := RepartitionInBatches(context.Background(), g2, a2, Options{}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

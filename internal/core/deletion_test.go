@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -68,7 +69,7 @@ func TestRepartitionAfterVertexDeletions(t *testing.T) {
 	if !g.Connected() {
 		t.Skip("deletion disconnected the mesh; covered by the orphan tests")
 	}
-	st, err := Repartition(g, a, Options{Refine: true})
+	st, err := Repartition(context.Background(), g, a, Options{Refine: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestRepartitionAfterEdgeDeletions(t *testing.T) {
 	if !g.Connected() {
 		t.Skip("edge removal disconnected the test mesh")
 	}
-	if _, err := Repartition(g, a, Options{Refine: true}); err != nil {
+	if _, err := Repartition(context.Background(), g, a, Options{Refine: true}); err != nil {
 		t.Fatal(err)
 	}
 	if !partition.Balanced(a.Sizes(g)) {
@@ -129,7 +130,7 @@ func TestRepartitionMixedAddAndDelete(t *testing.T) {
 		_ = g.AddEdge(v, prev[rng.Intn(len(prev))], 1)
 		prev = append(prev, v)
 	}
-	st, err := Repartition(g, a, Options{Refine: true})
+	st, err := Repartition(context.Background(), g, a, Options{Refine: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestPropertyRepartitionSurvivesRandomEdits(t *testing.T) {
 // failure (ErrNeedRepartition) by falling back to RSB, as the paper
 // prescribes; any other failure is a bug.
 func Repartition2OK(g *graph.Graph, a *partition.Assignment) bool {
-	_, err := Repartition(g, a, Options{Refine: true})
+	_, err := Repartition(context.Background(), g, a, Options{Refine: true})
 	if err == nil {
 		return true
 	}

@@ -25,6 +25,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/partition"
@@ -48,12 +50,14 @@ type Stats = engine.Stats
 // Repartition updates assignment a in place so it covers graph g with
 // balanced partitions and a small cutset, reusing the old partitioning.
 // Vertices beyond a's original coverage — and any vertex explicitly set to
-// partition.Unassigned — are treated as new.
+// partition.Unassigned — are treated as new. A done context aborts the
+// pipeline (including mid-LP) with an error matching cancel.ErrCanceled,
+// leaving a valid — possibly unbalanced — assignment.
 //
 // This is the one-shot form: it builds a fresh engine per call. Hold an
 // engine.Engine to amortize snapshots and scratch across calls.
-func Repartition(g *graph.Graph, a *partition.Assignment, opt Options) (*Stats, error) {
-	return engine.New(g, opt).Repartition(a)
+func Repartition(ctx context.Context, g *graph.Graph, a *partition.Assignment, opt Options) (*Stats, error) {
+	return engine.New(g, opt).Repartition(ctx, a)
 }
 
 // Assign implements phase 1: every live vertex of g that a leaves

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -121,7 +122,7 @@ func TestAssignClearsDeadVertices(t *testing.T) {
 func TestRepartitionBalancesGrownGrid(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g, a := grownGrid(8, 16, 4, 24, rng)
-	st, err := Repartition(g, a, Options{})
+	st, err := Repartition(context.Background(), g, a, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,10 +150,10 @@ func TestRepartitionWithRefinementImprovesCut(t *testing.T) {
 	rng2 := rand.New(rand.NewSource(5))
 	gRef, aRef := grownGrid(8, 16, 4, 24, rng2)
 
-	if _, err := Repartition(gPlain, aPlain, Options{}); err != nil {
+	if _, err := Repartition(context.Background(), gPlain, aPlain, Options{}); err != nil {
 		t.Fatal(err)
 	}
-	stRef, err := Repartition(gRef, aRef, Options{Refine: true})
+	stRef, err := Repartition(context.Background(), gRef, aRef, Options{Refine: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestRepartitionLocalizedBurst(t *testing.T) {
 		_ = g.AddEdge(v, prev[rng.Intn(len(prev))], 1)
 		prev = append(prev, v)
 	}
-	st, err := Repartition(g, a, Options{Refine: true})
+	st, err := Repartition(context.Background(), g, a, Options{Refine: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestRepartitionInfeasibleFallsBack(t *testing.T) {
 		_ = g.AddEdge(v, prev[len(prev)-1], 1)
 		prev = append(prev, v)
 	}
-	_, err := Repartition(g, a, Options{})
+	_, err := Repartition(context.Background(), g, a, Options{})
 	if !errors.Is(err, ErrNeedRepartition) {
 		t.Fatalf("err = %v, want ErrNeedRepartition", err)
 	}
@@ -260,7 +261,7 @@ func TestRepartitionAfterRSBOnGrownGraph(t *testing.T) {
 		_ = g.AddEdge(v, prev[rng.Intn(len(prev))], 1)
 		prev = append(prev, v)
 	}
-	if _, err := Repartition(g, a, Options{Refine: true}); err != nil {
+	if _, err := Repartition(context.Background(), g, a, Options{Refine: true}); err != nil {
 		t.Fatal(err)
 	}
 	igpCut := partition.Cut(g, a).TotalWeight
@@ -284,7 +285,7 @@ func TestStatsLPSizeIndependentOfGraphSize(t *testing.T) {
 	sizesOf := func(rows, cols int) (int, int) {
 		rng := rand.New(rand.NewSource(1))
 		g, a := grownGrid(rows, cols, 4, 16, rng)
-		st, err := Repartition(g, a, Options{})
+		st, err := Repartition(context.Background(), g, a, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -305,7 +306,7 @@ func TestPropertyRepartitionInvariants(t *testing.T) {
 		p := 2 + rng.Intn(3)
 		extra := 5 + rng.Intn(20)
 		g, a := grownGrid(rows, cols, p, extra, rng)
-		st, err := Repartition(g, a, Options{Refine: rng.Intn(2) == 0})
+		st, err := Repartition(context.Background(), g, a, Options{Refine: rng.Intn(2) == 0})
 		if err != nil {
 			// Feasibility can genuinely fail on tiny pathological grids;
 			// only structured failures are accepted.
@@ -332,7 +333,7 @@ func TestRepartitionSolverEquivalence(t *testing.T) {
 	for _, s := range []lp.Solver{lp.Dense{}, lp.Bounded{}, lp.Revised{}} {
 		rng := rand.New(rand.NewSource(21))
 		g, a := grownGrid(8, 16, 4, 20, rng)
-		if _, err := Repartition(g, a, Options{Solver: s, Refine: true}); err != nil {
+		if _, err := Repartition(context.Background(), g, a, Options{Solver: s, Refine: true}); err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
 		if !partition.Balanced(a.Sizes(g)) {

@@ -43,11 +43,13 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/balance"
+	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/layering"
 	"repro/internal/lp"
@@ -77,6 +79,9 @@ type Options struct {
 	Refine bool
 	// RefineOptions tunes phase 4 when enabled.
 	RefineOptions refine.Options
+	// Observer, if non-nil, receives stage-level Events during
+	// Repartition (see Event for the ordering contract).
+	Observer func(Event)
 }
 
 func (o Options) solver() lp.Solver {
@@ -124,11 +129,24 @@ type Stats struct {
 	LayerTime        time.Duration
 	BalanceTime      time.Duration
 	RefineTime       time.Duration
+	// Elapsed is the wall clock of the whole Repartition call, measured
+	// inside the engine so it covers exactly the pipeline (not callers'
+	// option conversion). It is set even when Repartition errors.
+	Elapsed time.Duration
+	// LPIterations is the total simplex pivots across every balance stage
+	// and refinement round.
+	LPIterations int
 }
 
 // TotalTime sums the phase times.
 func (s *Stats) TotalTime() time.Duration {
 	return s.AssignTime + s.LayerTime + s.BalanceTime + s.RefineTime
+}
+
+// reset readies a Stats arena for reuse, keeping the Stages capacity.
+func (s *Stats) reset() {
+	stages := s.Stages[:0]
+	*s = Stats{Stages: stages}
 }
 
 // MaxLPSize returns the largest (vars, cons) over all balancing stages —
@@ -169,6 +187,7 @@ type Engine struct {
 	sizes    []int
 	targets  []int
 	bestPart []int32
+	stats    Stats // reused result arena; see Repartition
 }
 
 // neverSeen marks prevPart slots the engine has not synced yet; it never
@@ -345,9 +364,9 @@ func (e *Engine) finishSync(a *partition.Assignment) {
 // Layer runs the boundary-seeded layering kernel over the engine's
 // snapshot. The result is owned by the engine's scratch and invalidated by
 // the next Layer call.
-func (e *Engine) Layer(a *partition.Assignment) (*layering.Result, error) {
+func (e *Engine) Layer(ctx context.Context, a *partition.Assignment) (*layering.Result, error) {
 	e.sync(a)
-	return e.lay.LayerSeeded(e.csr, a, e.boundary)
+	return e.lay.LayerSeeded(ctx, e.csr, a, e.boundary)
 }
 
 // Gains runs the boundary-seeded refinement gains kernel over the engine's
@@ -363,18 +382,44 @@ func (e *Engine) Gains(a *partition.Assignment, strict bool) (*refine.Candidates
 // partitioning. Vertices beyond a's original coverage — and any vertex
 // explicitly set to partition.Unassigned — are treated as new. Repeated
 // calls reuse the engine's snapshot, boundary set and scratch arenas.
-func (e *Engine) Repartition(a *partition.Assignment) (*Stats, error) {
-	st := &Stats{}
+//
+// The context is honored throughout: between stages, per layering BFS
+// level, and inside the simplex pivot loops. A done context aborts with
+// an error matching cancel.ErrCanceled that wraps context.Cause; the
+// assignment is never left mid-move — every vertex stays validly
+// assigned (though possibly unbalanced) after an abort.
+//
+// The returned Stats is an arena owned by the engine: it is overwritten
+// by the next Repartition call. Copy it out to retain it.
+func (e *Engine) Repartition(ctx context.Context, a *partition.Assignment) (*Stats, error) {
+	e.stats.reset()
+	st := &e.stats
 	opt := e.opt
+	tStart := time.Now()
+	defer func() {
+		st.Elapsed = time.Since(tStart)
+		for _, sg := range st.Stages {
+			st.LPIterations += sg.LPPivots
+		}
+		if st.Refine != nil {
+			st.LPIterations += st.Refine.Iterations
+		}
+	}()
 
+	if err := cancel.Check(ctx, "repartition"); err != nil {
+		return st, err
+	}
 	t0 := time.Now()
+	e.emit(Event{Kind: EventStart, Phase: PhaseAssign})
 	assigned, fallbacks, err := Assign(e.g, a)
 	if err != nil {
+		e.emit(Event{Kind: EventEnd, Phase: PhaseAssign, Elapsed: time.Since(t0)})
 		return st, err
 	}
 	st.NewAssigned = assigned
 	st.ClusterFallbacks = fallbacks
 	st.AssignTime = time.Since(t0)
+	e.emit(Event{Kind: EventEnd, Phase: PhaseAssign, Moved: assigned, Elapsed: st.AssignTime})
 	st.CutBefore = partition.Cut(e.g, a)
 
 	if cap(e.targets) < a.P {
@@ -387,28 +432,42 @@ func (e *Engine) Repartition(a *partition.Assignment) (*Stats, error) {
 	}
 	solver := opt.solver()
 	for stage := 0; stage < opt.maxStages(); stage++ {
+		if err := cancel.Check(ctx, "balance stage"); err != nil {
+			return st, err
+		}
 		sizes := a.SizesInto(e.sizes[:a.P], e.g)
 		if maxAbsDev(sizes, targets) <= opt.Tolerance {
 			break
 		}
 		tL := time.Now()
-		lay, err := e.Layer(a)
+		e.emit(Event{Kind: EventStart, Phase: PhaseLayer, Stage: stage + 1})
+		lay, err := e.Layer(ctx, a)
 		if err != nil {
+			// Close the span even on abort so observers pairing start/end
+			// events never leak an open span.
+			e.emit(Event{Kind: EventEnd, Phase: PhaseLayer, Stage: stage + 1, Elapsed: time.Since(tL)})
 			return st, err
 		}
-		st.LayerTime += time.Since(tL)
+		dL := time.Since(tL)
+		st.LayerTime += dL
+		e.emit(Event{Kind: EventEnd, Phase: PhaseLayer, Stage: stage + 1, Elapsed: dL})
 
 		tB := time.Now()
-		stageStat, ok, err := balanceStage(a, lay, sizes, targets, solver, opt.epsMax(), opt.Tolerance)
-		st.BalanceTime += time.Since(tB)
-		if err != nil {
-			return st, err
-		}
-		if !ok {
+		e.emit(Event{Kind: EventStart, Phase: PhaseBalance, Stage: stage + 1})
+		stageStat, ok, err := balanceStage(ctx, a, lay, sizes, targets, solver, opt.epsMax(), opt.Tolerance)
+		dB := time.Since(tB)
+		st.BalanceTime += dB
+		if err != nil || !ok {
+			e.emit(Event{Kind: EventEnd, Phase: PhaseBalance, Stage: stage + 1, Elapsed: dB})
+			if err != nil {
+				return st, err
+			}
 			return st, fmt.Errorf("%w (stage %d, sizes %v)", ErrNeedRepartition, stage, sizes)
 		}
 		st.Stages = append(st.Stages, stageStat)
 		st.BalanceMoved += stageStat.Moved
+		e.emit(Event{Kind: EventEnd, Phase: PhaseBalance, Stage: stage + 1,
+			Epsilon: stageStat.Epsilon, Moved: stageStat.Moved, Elapsed: dB})
 		if stageStat.Moved == 0 {
 			// A feasible stage that moved nothing makes no progress: either
 			// the targets are met (checked at the top of the loop) or every
@@ -424,13 +483,24 @@ func (e *Engine) Repartition(a *partition.Assignment) (*Stats, error) {
 
 	if opt.Refine {
 		tR := time.Now()
+		e.emit(Event{Kind: EventStart, Phase: PhaseRefine})
 		ro := opt.RefineOptions
 		if ro.Solver == nil {
 			ro.Solver = solver
 		}
-		rst, err := e.runRefine(a, ro)
+		if opt.Observer != nil && ro.OnRound == nil {
+			ro.OnRound = func(round, moved int) {
+				e.emit(Event{Kind: EventRound, Phase: PhaseRefine, Stage: round, Moved: moved})
+			}
+		}
+		rst, err := e.runRefine(ctx, a, ro)
 		st.RefineTime = time.Since(tR)
 		st.Refine = rst
+		moved := 0
+		if rst != nil {
+			moved = rst.Moved
+		}
+		e.emit(Event{Kind: EventEnd, Phase: PhaseRefine, Moved: moved, Elapsed: st.RefineTime})
 		if err != nil {
 			return st, err
 		}
@@ -440,13 +510,13 @@ func (e *Engine) Repartition(a *partition.Assignment) (*Stats, error) {
 }
 
 // balanceStage runs one layer→LP→move stage, escalating ε until feasible.
-func balanceStage(a *partition.Assignment, lay *layering.Result, sizes, targets []int, solver lp.Solver, epsMax float64, tol int) (StageStats, bool, error) {
+func balanceStage(ctx context.Context, a *partition.Assignment, lay *layering.Result, sizes, targets []int, solver lp.Solver, epsMax float64, tol int) (StageStats, bool, error) {
 	for eps := 1.0; eps <= epsMax; eps++ {
 		m, err := balance.FormulateTol(lay.Delta, sizes, targets, eps, tol)
 		if err != nil {
 			return StageStats{}, false, err
 		}
-		flows, sol, err := balance.Solve(m, solver)
+		flows, sol, err := balance.Solve(ctx, m, solver)
 		if err != nil {
 			return StageStats{}, false, err
 		}
@@ -481,8 +551,8 @@ func balanceStage(a *partition.Assignment, lay *layering.Result, sizes, targets 
 // runRefine is the engine's phase 4: the shared refine.Drive loop fed
 // with boundary-seeded gain scans, keeping the best-seen assignment in
 // the engine's reused arena.
-func (e *Engine) runRefine(a *partition.Assignment, opt refine.Options) (*refine.Stats, error) {
-	st, best, err := refine.Drive(e.g, a, opt, func(strict bool) (*refine.Candidates, error) {
+func (e *Engine) runRefine(ctx context.Context, a *partition.Assignment, opt refine.Options) (*refine.Stats, error) {
+	st, best, err := refine.Drive(ctx, e.g, a, opt, func(strict bool) (*refine.Candidates, error) {
 		return e.Gains(a, strict)
 	}, e.bestPart)
 	e.bestPart = best

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -142,7 +143,7 @@ func TestSeededLayerEquivalence(t *testing.T) {
 	e := New(g, Options{})
 	rng := rand.New(rand.NewSource(13))
 	for iter := 0; iter < 120; iter++ {
-		got, err := e.Layer(a)
+		got, err := e.Layer(context.Background(), a)
 		if err != nil {
 			t.Fatalf("iter %d: engine layer: %v", iter, err)
 		}
@@ -269,8 +270,8 @@ func TestEngineRepartitionMatchesOneShot(t *testing.T) {
 		}
 		// Drop the random moves: Repartition expects a valid (or Unassigned)
 		// partition per live vertex, which randomEdit preserves.
-		stA, errA := e.Repartition(aA)
-		stB, errB := New(gB, Options{Refine: true}).Repartition(aB)
+		stA, errA := e.Repartition(context.Background(), aA)
+		stB, errB := New(gB, Options{Refine: true}).Repartition(context.Background(), aB)
 		if (errA == nil) != (errB == nil) {
 			t.Fatalf("step %d: error mismatch: %v vs %v", step, errA, errB)
 		}
@@ -292,11 +293,11 @@ func TestEngineRepartitionMatchesOneShot(t *testing.T) {
 func TestSteadyStateLayerAllocs(t *testing.T) {
 	g, a := editableGraph(t, 500, 8, 5)
 	e := New(g, Options{})
-	if _, err := e.Layer(a); err != nil {
+	if _, err := e.Layer(context.Background(), a); err != nil {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(20, func() {
-		if _, err := e.Layer(a); err != nil {
+		if _, err := e.Layer(context.Background(), a); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -329,7 +330,7 @@ func TestSteadyStateGainsAllocs(t *testing.T) {
 func TestSteadyStateSmallEditAllocs(t *testing.T) {
 	g, a := editableGraph(t, 500, 8, 5)
 	e := New(g, Options{})
-	if _, err := e.Layer(a); err != nil {
+	if _, err := e.Layer(context.Background(), a); err != nil {
 		t.Fatal(err)
 	}
 	u, v := graph.Vertex(0), graph.Vertex(1)
@@ -340,7 +341,7 @@ func TestSteadyStateSmallEditAllocs(t *testing.T) {
 		} else {
 			_ = g.AddEdge(u, v, 1)
 		}
-		if _, err := e.Layer(a); err != nil {
+		if _, err := e.Layer(context.Background(), a); err != nil {
 			t.Fatal(err)
 		}
 	})

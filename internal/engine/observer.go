@@ -1,0 +1,96 @@
+package engine
+
+import "time"
+
+// Phase names one of the pipeline's four phases. The values are stable:
+// dashboards may persist them.
+type Phase int8
+
+// The four phases of the incremental graph partitioner.
+const (
+	PhaseAssign  Phase = iota // phase 1: nearest-partition assignment
+	PhaseLayer                // phase 2: boundary layering
+	PhaseBalance              // phase 3: the balance LP + moves
+	PhaseRefine               // phase 4: LP cut refinement (IGPR)
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseAssign:
+		return "assign"
+	case PhaseLayer:
+		return "layer"
+	case PhaseBalance:
+		return "balance"
+	case PhaseRefine:
+		return "refine"
+	}
+	return "unknown"
+}
+
+// EventKind distinguishes observer events.
+type EventKind int8
+
+const (
+	// EventStart opens a span: a whole phase, or one stage's slice of the
+	// layer/balance phases.
+	EventStart EventKind = iota
+	// EventEnd closes the matching EventStart span and carries its
+	// measurements (Elapsed, and Moved/Epsilon where applicable).
+	EventEnd
+	// EventRound reports one applied refinement round (Stage is the
+	// 1-based round, Moved the vertices it moved).
+	EventRound
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventStart:
+		return "start"
+	case EventEnd:
+		return "end"
+	case EventRound:
+		return "round"
+	}
+	return "unknown"
+}
+
+// Event is one stage-level observation streamed to Options.Observer
+// during Repartition. Events arrive in pipeline order, on the calling
+// goroutine, with every EventEnd following its EventStart:
+//
+//	assign start/end,
+//	then per balancing stage s: layer start/end (Stage=s),
+//	balance start/end (Stage=s, Epsilon, Moved),
+//	then if refinement is enabled: refine start, refine rounds, refine end.
+//
+// The struct is passed by value and is free of engine-owned pointers, so
+// observers may retain it. Spans stay paired on error paths too: an
+// aborted phase (cancellation, infeasibility) still emits its EventEnd —
+// carrying the elapsed time but possibly zero Moved/Epsilon — before
+// Repartition returns the error.
+type Event struct {
+	Kind  EventKind
+	Phase Phase
+	// Stage is the 1-based balancing stage for layer/balance spans and the
+	// 1-based round for refine EventRound; 0 for whole-phase spans.
+	Stage int
+	// Epsilon is the relaxation factor that produced a feasible LP
+	// (balance EventEnd only).
+	Epsilon float64
+	// Moved counts vertices moved in the closed span (for the assign
+	// phase: vertices newly assigned).
+	Moved int
+	// Elapsed is the wall-clock duration of the closed span (EventEnd
+	// only).
+	Elapsed time.Duration
+}
+
+// emit delivers ev to the configured observer, if any. Observers run
+// synchronously on the repartitioning goroutine: a slow observer slows
+// the pipeline, and panics propagate to the Repartition caller.
+func (e *Engine) emit(ev Event) {
+	if e.opt.Observer != nil {
+		e.opt.Observer(ev)
+	}
+}

@@ -18,9 +18,11 @@
 package layering
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/partition"
 )
@@ -98,17 +100,19 @@ func Layer(g *graph.Graph, a *partition.Assignment) (*Result, error) {
 		return nil, fmt.Errorf("layering: %w", err)
 	}
 	var s Scratch
-	return s.run(g.ToCSR(), a, nil, false), nil
+	return s.run(context.Background(), g.ToCSR(), a, nil, false)
 }
 
 // LayerCSR runs the layering kernel over a CSR snapshot, reusing the
 // scratch buffers. The snapshot must reflect the graph the assignment
-// covers. The result is owned by the Scratch.
-func (s *Scratch) LayerCSR(c *graph.CSR, a *partition.Assignment) (*Result, error) {
+// covers. The result is owned by the Scratch. The context is polled once
+// per BFS level; a done context aborts with an error matching
+// cancel.ErrCanceled.
+func (s *Scratch) LayerCSR(ctx context.Context, c *graph.CSR, a *partition.Assignment) (*Result, error) {
 	if err := ValidateAssignment(c, a); err != nil {
 		return nil, fmt.Errorf("layering: %w", err)
 	}
-	return s.run(c, a, nil, false), nil
+	return s.run(ctx, c, a, nil, false)
 }
 
 // LayerSeeded is LayerCSR with a precomputed boundary superset: only the
@@ -117,11 +121,11 @@ func (s *Scratch) LayerCSR(c *graph.CSR, a *partition.Assignment) (*Result, erro
 // contain every live vertex with at least one foreign neighbor (extra or
 // duplicate vertices are harmless); the result is then bit-identical to
 // the full-scan kernel's.
-func (s *Scratch) LayerSeeded(c *graph.CSR, a *partition.Assignment, seeds []graph.Vertex) (*Result, error) {
+func (s *Scratch) LayerSeeded(ctx context.Context, c *graph.CSR, a *partition.Assignment, seeds []graph.Vertex) (*Result, error) {
 	if err := ValidateAssignment(c, a); err != nil {
 		return nil, fmt.Errorf("layering: %w", err)
 	}
-	return s.run(c, a, seeds, true), nil
+	return s.run(ctx, c, a, seeds, true)
 }
 
 // ValidateAssignment checks that a covers the snapshot: live slots carry a
@@ -201,7 +205,9 @@ func growInt32(b []int32, n int) []int32 {
 // The produced labeling is independent of seed order and of the frontier
 // traversal order: each level-ℓ+1 label depends only on the completed
 // level-ℓ labeling, and pools are rebuilt from a full in-order pass.
-func (s *Scratch) run(c *graph.CSR, a *partition.Assignment, seeds []graph.Vertex, seeded bool) *Result {
+// The context is polled once per BFS level (the natural yield point of
+// the level-synchronous traversal); an abort leaves the Scratch reusable.
+func (s *Scratch) run(ctx context.Context, c *graph.CSR, a *partition.Assignment, seeds []graph.Vertex, seeded bool) (*Result, error) {
 	n := c.Order()
 	p := a.P
 	r := s.grow(n, p)
@@ -259,6 +265,14 @@ func (s *Scratch) run(c *graph.CSR, a *partition.Assignment, seeds []graph.Verte
 	inCandidates := s.inCandidates
 	candidates := s.candidates[:0]
 	for len(frontier) > 0 {
+		if err := cancel.Check(ctx, "layering BFS"); err != nil {
+			// Hand the grown buffers back before aborting so the Scratch
+			// stays reusable after a canceled run.
+			s.touched = touched[:0]
+			s.frontier = frontier[:0]
+			s.candidates = candidates[:0]
+			return nil, err
+		}
 		candidates = candidates[:0]
 		for _, v := range frontier {
 			pv := a.Part[v]
@@ -356,7 +370,7 @@ func (s *Scratch) run(c *graph.CSR, a *partition.Assignment, seeds []graph.Verte
 		}
 		byLevel[l] = vs[:0]
 	}
-	return r
+	return r, nil
 }
 
 // Validate checks internal consistency of a layering against its graph

@@ -1,10 +1,14 @@
 package layering
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/partition"
 )
@@ -221,4 +225,33 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestLayerCanceled: the BFS kernel polls its context per level; a
+// pre-canceled context aborts with the typed sentinel, and the Scratch
+// stays reusable for the next (live) call.
+func TestLayerCanceled(t *testing.T) {
+	g, a := stripes(8, 24, 3)
+	csr := g.ToCSR()
+	var s Scratch
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	if _, err := s.LayerCSR(ctx, csr, a); !errors.Is(err, cancel.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	// The scratch must still produce a correct layering afterwards.
+	res, err := s.LayerCSR(context.Background(), csr, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(g, a); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Layer(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Label, want.Label) || !reflect.DeepEqual(res.Delta, want.Delta) {
+		t.Fatal("post-abort layering diverges from fresh layering")
+	}
 }

@@ -1,8 +1,11 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"repro/internal/cancel"
 )
 
 // Bounded is a two-phase simplex with the upper-bound technique: variable
@@ -36,7 +39,7 @@ type boundedState struct {
 }
 
 // Solve implements Solver.
-func (s Bounded) Solve(p *Problem) (*Solution, error) {
+func (s Bounded) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -66,7 +69,10 @@ func (s Bounded) Solve(p *Problem) (*Solution, error) {
 		for j := st.artStart; j < st.nCols; j++ {
 			st.cost[j] = 1
 		}
-		status := st.iterate(maxIter, blandAfter, false)
+		status, err := st.iterate(ctx, maxIter, blandAfter, false)
+		if err != nil {
+			return nil, err
+		}
 		if status == IterLimit {
 			return &Solution{Status: IterLimit, Iterations: st.iters}, nil
 		}
@@ -80,7 +86,10 @@ func (s Bounded) Solve(p *Problem) (*Solution, error) {
 	}
 
 	st.cost = st.origCost
-	status := st.iterate(maxIter, blandAfter, true)
+	status, err := st.iterate(ctx, maxIter, blandAfter, true)
+	if err != nil {
+		return nil, err
+	}
 	switch status {
 	case IterLimit:
 		return &Solution{Status: IterLimit, Iterations: st.iters}, nil
@@ -215,7 +224,7 @@ func (st *boundedState) isBasic(j int) bool {
 }
 
 // iterate runs bounded-variable simplex pivots for the current cost.
-func (st *boundedState) iterate(maxIter, blandAfter int, banArtificials bool) Status {
+func (st *boundedState) iterate(ctx context.Context, maxIter, blandAfter int, banArtificials bool) (Status, error) {
 	d := st.reducedCosts()
 	basic := make([]bool, st.nCols)
 	for _, b := range st.basis {
@@ -223,7 +232,12 @@ func (st *boundedState) iterate(maxIter, blandAfter int, banArtificials bool) St
 	}
 	for {
 		if st.iters >= maxIter {
-			return IterLimit
+			return IterLimit, nil
+		}
+		if st.iters&ctxCheckMask == 0 {
+			if err := cancel.Check(ctx, "bounded simplex"); err != nil {
+				return IterLimit, err
+			}
 		}
 		bland := st.iters >= blandAfter
 		// Entering column: nonbasic at lower with d<0, or at upper with d>0.
@@ -255,7 +269,7 @@ func (st *boundedState) iterate(maxIter, blandAfter int, banArtificials bool) St
 			}
 		}
 		if enter < 0 {
-			return Optimal
+			return Optimal, nil
 		}
 		sign := 1.0
 		if st.atUpper[enter] {
@@ -293,7 +307,7 @@ func (st *boundedState) iterate(maxIter, blandAfter int, banArtificials bool) St
 		boundT := st.upper[enter]
 
 		if math.IsInf(rowT, 1) && math.IsInf(boundT, 1) {
-			return Unbounded
+			return Unbounded, nil
 		}
 
 		if boundT <= rowT+feasTol {

@@ -1,0 +1,64 @@
+package lp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/cancel"
+)
+
+// TestSolveCanceled: every solver's pivot loop polls its context — a
+// pre-canceled context aborts the solve with the typed sentinel wrapping
+// the context cause, before any pivoting completes.
+func TestSolveCanceled(t *testing.T) {
+	p := paperFig5Problem()
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	for _, s := range allSolvers {
+		_, err := s.Solve(ctx, p)
+		if err == nil {
+			t.Fatalf("%s: canceled solve returned nil error", s.Name())
+		}
+		if !errors.Is(err, cancel.ErrCanceled) {
+			t.Fatalf("%s: error does not match ErrCanceled: %v", s.Name(), err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: error does not wrap context.Canceled: %v", s.Name(), err)
+		}
+		var typed *cancel.Error
+		if !errors.As(err, &typed) {
+			t.Fatalf("%s: error is not a *cancel.Error: %v", s.Name(), err)
+		}
+	}
+}
+
+// TestRegistryRoundTrip: built-ins resolve by name (and by the empty
+// default), unknowns fail with a listing.
+func TestRegistryRoundTrip(t *testing.T) {
+	for _, name := range []string{"dense", "bounded", "revised", ""} {
+		s, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if s == nil {
+			t.Fatalf("%q: nil solver", name)
+		}
+	}
+	def, err := Lookup("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Name() != DefaultSolverName {
+		t.Fatalf("default solver is %q, want %q", def.Name(), DefaultSolverName)
+	}
+	if _, err := Lookup("no-such-solver"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+	if err := Register("dense", Dense{}); err == nil {
+		t.Fatal("duplicate built-in registration must error")
+	}
+	if err := Register("x", nil); err == nil {
+		t.Fatal("nil solver registration must error")
+	}
+}

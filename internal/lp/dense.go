@@ -1,8 +1,11 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"repro/internal/cancel"
 )
 
 // Dense is the classical two-phase dense-tableau simplex — the solver the
@@ -21,7 +24,7 @@ type Dense struct {
 func (Dense) Name() string { return "dense" }
 
 // Solve implements Solver.
-func (d Dense) Solve(p *Problem) (*Solution, error) {
+func (d Dense) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -37,7 +40,7 @@ func (d Dense) Solve(p *Problem) (*Solution, error) {
 	if blandAfter == 0 {
 		blandAfter = 5000
 	}
-	return t.solve(maxIter, blandAfter)
+	return t.solve(ctx, maxIter, blandAfter)
 }
 
 // tableau is a dense simplex tableau in standard form:
@@ -223,13 +226,18 @@ func (t *tableau) pivot(r, c int, d []float64) {
 	t.iters++
 }
 
-// iterate runs simplex pivots until optimality, unboundedness or the
-// iteration limit, for the current cost vector.
-func (t *tableau) iterate(maxIter, blandAfter int, banArtificials bool) Status {
+// iterate runs simplex pivots until optimality, unboundedness, context
+// cancellation, or the iteration limit, for the current cost vector.
+func (t *tableau) iterate(ctx context.Context, maxIter, blandAfter int, banArtificials bool) (Status, error) {
 	d, _ := t.reducedCosts(banArtificials)
 	for {
 		if t.iters >= maxIter {
-			return IterLimit
+			return IterLimit, nil
+		}
+		if t.iters&ctxCheckMask == 0 {
+			if err := cancel.Check(ctx, "dense simplex"); err != nil {
+				return IterLimit, err
+			}
 		}
 		bland := t.iters >= blandAfter
 		// Entering column.
@@ -249,7 +257,7 @@ func (t *tableau) iterate(maxIter, blandAfter int, banArtificials bool) Status {
 			}
 		}
 		if enter < 0 {
-			return Optimal
+			return Optimal, nil
 		}
 		// Ratio test; ties broken by smallest basis index (Bland-safe).
 		leave := -1
@@ -267,14 +275,14 @@ func (t *tableau) iterate(maxIter, blandAfter int, banArtificials bool) Status {
 			}
 		}
 		if leave < 0 {
-			return Unbounded
+			return Unbounded, nil
 		}
 		t.pivot(leave, enter, d)
 	}
 }
 
 // solve runs the two phases and extracts the solution.
-func (t *tableau) solve(maxIter, blandAfter int) (*Solution, error) {
+func (t *tableau) solve(ctx context.Context, maxIter, blandAfter int) (*Solution, error) {
 	// Phase 1: minimize the sum of artificials (skip if none are basic).
 	needPhase1 := false
 	for _, b := range t.basis {
@@ -288,7 +296,10 @@ func (t *tableau) solve(maxIter, blandAfter int) (*Solution, error) {
 		for j := t.artStart; j < t.nCols; j++ {
 			t.cost[j] = 1
 		}
-		status := t.iterate(maxIter, blandAfter, false)
+		status, err := t.iterate(ctx, maxIter, blandAfter, false)
+		if err != nil {
+			return nil, err
+		}
 		if status == IterLimit {
 			return &Solution{Status: IterLimit, Iterations: t.iters}, nil
 		}
@@ -306,7 +317,10 @@ func (t *tableau) solve(maxIter, blandAfter int) (*Solution, error) {
 
 	// Phase 2.
 	t.cost = t.origCost
-	status := t.iterate(maxIter, blandAfter, true)
+	status, err := t.iterate(ctx, maxIter, blandAfter, true)
+	if err != nil {
+		return nil, err
+	}
 	switch status {
 	case IterLimit:
 		return &Solution{Status: IterLimit, Iterations: t.iters}, nil

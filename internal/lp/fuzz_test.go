@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -20,7 +21,7 @@ func FuzzSolverAgreement(f *testing.F) {
 		var status []Status
 		var objs []float64
 		for _, s := range []Solver{Dense{MaxIter: 20000}, Bounded{MaxIter: 20000}, Revised{MaxIter: 20000}} {
-			sol, err := s.Solve(p)
+			sol, err := s.Solve(context.Background(), p)
 			if err != nil {
 				t.Fatalf("%s: %v", s.Name(), err)
 			}

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -12,7 +13,7 @@ func solveAll(t *testing.T, p *Problem) []*Solution {
 	t.Helper()
 	out := make([]*Solution, len(allSolvers))
 	for i, s := range allSolvers {
-		sol, err := s.Solve(p)
+		sol, err := s.Solve(context.Background(), p)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -433,7 +434,7 @@ func TestSolversAgainstBruteForce(t *testing.T) {
 		p := randomBoundedLP(rng)
 		want, feasible := bruteForce(p)
 		for _, s := range allSolvers {
-			sol, err := s.Solve(p)
+			sol, err := s.Solve(context.Background(), p)
 			if err != nil {
 				t.Fatalf("trial %d %s: %v", trial, s.Name(), err)
 			}
@@ -505,7 +506,7 @@ func TestFlowLPIntegrality(t *testing.T) {
 	for trial := 0; trial < 60; trial++ {
 		p := randomFlowLP(rng, 3+rng.Intn(3))
 		for _, s := range allSolvers {
-			sol, err := s.Solve(p)
+			sol, err := s.Solve(context.Background(), p)
 			if err != nil {
 				t.Fatalf("trial %d %s: %v", trial, s.Name(), err)
 			}
@@ -528,7 +529,7 @@ func TestSolversAgreeOnFlowLPs(t *testing.T) {
 		var objs []float64
 		var statuses []Status
 		for _, s := range allSolvers {
-			sol, err := s.Solve(p)
+			sol, err := s.Solve(context.Background(), p)
 			if err != nil {
 				t.Fatalf("trial %d %s: %v", trial, s.Name(), err)
 			}

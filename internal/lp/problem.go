@@ -19,6 +19,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -165,18 +166,25 @@ type Solution struct {
 	Iterations int       // simplex pivots performed
 }
 
-// Solver is a simplex implementation.
+// Solver is a simplex implementation. Implementations must honor the
+// context: long pivot loops poll it periodically and abort with an error
+// matching cancel.ErrCanceled (wrapping context.Cause) once it is done.
 type Solver interface {
-	// Solve optimizes p. A non-nil error reports a malformed problem or an
-	// internal failure; Infeasible/Unbounded are reported via Status with a
-	// nil error.
-	Solve(p *Problem) (*Solution, error)
+	// Solve optimizes p. A non-nil error reports a malformed problem, a
+	// canceled context, or an internal failure; Infeasible/Unbounded are
+	// reported via Status with a nil error.
+	Solve(ctx context.Context, p *Problem) (*Solution, error)
 	// Name identifies the solver in benchmarks and stats.
 	Name() string
 }
 
 // feasTol is the feasibility/optimality tolerance shared by the solvers.
 const feasTol = 1e-9
+
+// ctxCheckMask controls how often the pivot loops poll their context:
+// every (ctxCheckMask+1) iterations. A power-of-two mask keeps the check
+// a single AND on the hot path.
+const ctxCheckMask = 255
 
 // CheckFeasible verifies that x satisfies all bounds and constraints of p
 // within tol, returning a descriptive error for the first violation. Used

@@ -1,8 +1,11 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"repro/internal/cancel"
 )
 
 // Revised is a two-phase revised simplex: it keeps the constraint matrix
@@ -44,7 +47,7 @@ type revisedState struct {
 }
 
 // Solve implements Solver.
-func (s Revised) Solve(p *Problem) (*Solution, error) {
+func (s Revised) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -73,7 +76,10 @@ func (s Revised) Solve(p *Problem) (*Solution, error) {
 		for j := st.artStart; j < st.nCols; j++ {
 			st.cost[j] = 1
 		}
-		status := st.iterate(maxIter, blandAfter, false)
+		status, err := st.iterate(ctx, maxIter, blandAfter, false)
+		if err != nil {
+			return nil, err
+		}
 		if status == IterLimit {
 			return &Solution{Status: IterLimit, Iterations: st.iters}, nil
 		}
@@ -93,7 +99,10 @@ func (s Revised) Solve(p *Problem) (*Solution, error) {
 	}
 
 	st.cost = st.origCost
-	status := st.iterate(maxIter, blandAfter, true)
+	status, err := st.iterate(ctx, maxIter, blandAfter, true)
+	if err != nil {
+		return nil, err
+	}
 	switch status {
 	case IterLimit:
 		return &Solution{Status: IterLimit, Iterations: st.iters}, nil
@@ -235,14 +244,19 @@ func (st *revisedState) price(j int, y []float64) float64 {
 	return d
 }
 
-func (st *revisedState) iterate(maxIter, blandAfter int, banArtificials bool) Status {
+func (st *revisedState) iterate(ctx context.Context, maxIter, blandAfter int, banArtificials bool) (Status, error) {
 	m := len(st.basis)
 	y := make([]float64, m)
 	w := make([]float64, m)
 	basic := make([]bool, st.nCols)
 	for {
 		if st.iters >= maxIter {
-			return IterLimit
+			return IterLimit, nil
+		}
+		if st.iters&ctxCheckMask == 0 {
+			if err := cancel.Check(ctx, "revised simplex"); err != nil {
+				return IterLimit, err
+			}
 		}
 		bland := st.iters >= blandAfter
 		st.btran(y)
@@ -273,7 +287,7 @@ func (st *revisedState) iterate(maxIter, blandAfter int, banArtificials bool) St
 			}
 		}
 		if enter < 0 {
-			return Optimal
+			return Optimal, nil
 		}
 		st.ftran(enter, w)
 		leave := -1
@@ -290,7 +304,7 @@ func (st *revisedState) iterate(maxIter, blandAfter int, banArtificials bool) St
 			}
 		}
 		if leave < 0 {
-			return Unbounded
+			return Unbounded, nil
 		}
 		st.pivot(leave, enter, w)
 	}

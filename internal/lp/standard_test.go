@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -68,7 +69,7 @@ func TestIterLimitStatus(t *testing.T) {
 	// or mis-report.
 	p := paperFig5Problem()
 	for _, s := range []Solver{Dense{MaxIter: 1}, Bounded{MaxIter: 1}, Revised{MaxIter: 1}} {
-		sol, err := s.Solve(p)
+		sol, err := s.Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -27,7 +28,7 @@ func solveParallel(t *testing.T, ranks int, prob *lp.Problem) *lp.Solution {
 	w := testWorld(t, ranks)
 	sols := make([]*lp.Solution, ranks)
 	err := w.Run(func(c *comm.Comm) error {
-		sol, err := SolveLP(c, prob)
+		sol, err := SolveLP(context.Background(), c, prob)
 		if err != nil {
 			return err
 		}
@@ -101,7 +102,7 @@ func TestSolveLPRandomAgainstDense(t *testing.T) {
 			}
 			p.AddConstraint(terms, []lp.Rel{lp.LE, lp.GE, lp.EQ}[rng.Intn(3)], float64(rng.Intn(11)-3))
 		}
-		want, err := dense.Solve(p)
+		want, err := dense.Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -152,7 +153,7 @@ func TestParallelRepartitionBalances(t *testing.T) {
 		rng := rand.New(rand.NewSource(13))
 		g, a := grownGrid(8, 16, 4, 24, rng)
 		w := testWorld(t, ranks)
-		res, err := Repartition(w, g, a, Options{Refine: true})
+		res, err := Repartition(context.Background(), w, g, a, Options{Refine: true})
 		if err != nil {
 			t.Fatalf("ranks=%d: %v", ranks, err)
 		}
@@ -184,7 +185,7 @@ func TestParallelMatchesAcrossRankCounts(t *testing.T) {
 		rng := rand.New(rand.NewSource(17))
 		g, a := grownGrid(6, 12, 4, 16, rng)
 		w := testWorld(t, ranks)
-		if _, err := Repartition(w, g, a, Options{Refine: true}); err != nil {
+		if _, err := Repartition(context.Background(), w, g, a, Options{Refine: true}); err != nil {
 			t.Fatalf("ranks=%d: %v", ranks, err)
 		}
 		results = append(results, append([]int32(nil), a.Part...))
@@ -208,7 +209,7 @@ func TestParallelSpeedupShape(t *testing.T) {
 	for _, ranks := range []int{1, 8} {
 		a := a0.Clone()
 		w := testWorld(t, ranks)
-		res, err := Repartition(w, g, a, Options{Refine: true})
+		res, err := Repartition(context.Background(), w, g, a, Options{Refine: true})
 		if err != nil {
 			t.Fatalf("ranks=%d: %v", ranks, err)
 		}
@@ -229,7 +230,7 @@ func TestParallelOrphanClusters(t *testing.T) {
 	a := partition.New(6, 2)
 	a.Part = []int32{0, 0, 0, 1, 1, 1}
 	w := testWorld(t, 2)
-	if _, err := Repartition(w, g, a, Options{}); err != nil {
+	if _, err := Repartition(context.Background(), w, g, a, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if a.Part[v1] < 0 || a.Part[v1] != a.Part[v2] {

@@ -1,8 +1,11 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"time"
+
+	"repro/internal/cancel"
 
 	"repro/internal/balance"
 	"repro/internal/comm"
@@ -80,7 +83,7 @@ type Result struct {
 // simplex pivot columns and migrated vertices. The assignment a is
 // updated in place with the (identical) result; the world's clocks are
 // reset first so Result.SimTime is this call's makespan.
-func Repartition(w *comm.World, g *graph.Graph, a *partition.Assignment, opt Options) (*Result, error) {
+func Repartition(ctx context.Context, w *comm.World, g *graph.Graph, a *partition.Assignment, opt Options) (*Result, error) {
 	w.Reset()
 	a.Grow(g.Order())
 	res := &Result{}
@@ -89,7 +92,7 @@ func Repartition(w *comm.World, g *graph.Graph, a *partition.Assignment, opt Opt
 
 	err := w.Run(func(c *comm.Comm) error {
 		mine := a.Clone()
-		st, err := repartitionRank(c, g, mine, opt)
+		st, err := repartitionRank(ctx, c, g, mine, opt)
 		if err != nil {
 			return err
 		}
@@ -130,7 +133,7 @@ func owner(q int32, ranks int) int { return int(q) % ranks }
 // repartitionRank is the per-rank SPMD body. Each rank owns a private
 // engine: replicated metadata, but snapshots, boundary sets and scratch
 // arenas are reused across the stages and refinement rounds of the run.
-func repartitionRank(c *comm.Comm, g *graph.Graph, a *partition.Assignment, opt Options) (*Result, error) {
+func repartitionRank(ctx context.Context, c *comm.Comm, g *graph.Graph, a *partition.Assignment, opt Options) (*Result, error) {
 	res := &Result{}
 	eng := engine.New(g, engine.Options{})
 	t0 := c.Clock()
@@ -141,18 +144,21 @@ func repartitionRank(c *comm.Comm, g *graph.Graph, a *partition.Assignment, opt 
 
 	targets := partition.Targets(g.NumVertices(), a.P)
 	for stage := 0; stage < opt.maxStages(); stage++ {
+		if err := cancel.Check(ctx, "parallel balance stage"); err != nil {
+			return nil, err
+		}
 		sizes := a.Sizes(g)
 		if maxAbsDev(sizes, targets) == 0 {
 			break
 		}
 		tL := c.Clock()
-		lay, err := player(c, eng, g, a)
+		lay, err := player(ctx, c, eng, g, a)
 		if err != nil {
 			return nil, err
 		}
 		res.LayerSim += c.Clock() - tL
 		tB := c.Clock()
-		moved, ok, err := pbalance(c, g, a, lay, targets, opt.epsMax())
+		moved, ok, err := pbalance(ctx, c, g, a, lay, targets, opt.epsMax())
 		if err != nil {
 			return nil, err
 		}
@@ -172,7 +178,7 @@ func repartitionRank(c *comm.Comm, g *graph.Graph, a *partition.Assignment, opt 
 
 	if opt.Refine {
 		tR := c.Clock()
-		rounds, err := prefine(c, eng, g, a, opt)
+		rounds, err := prefine(ctx, c, eng, g, a, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -299,8 +305,8 @@ func passign(c *comm.Comm, g *graph.Graph, a *partition.Assignment) error {
 // only for the partitions it owns, then the δ rows of owned partitions
 // are all-gathered — exactly the data a distributed layering would
 // exchange.
-func player(c *comm.Comm, eng *engine.Engine, g *graph.Graph, a *partition.Assignment) (*layering.Result, error) {
-	lay, err := eng.Layer(a)
+func player(ctx context.Context, c *comm.Comm, eng *engine.Engine, g *graph.Graph, a *partition.Assignment) (*layering.Result, error) {
+	lay, err := eng.Layer(ctx, a)
 	if err != nil {
 		return nil, err
 	}
@@ -329,14 +335,14 @@ func player(c *comm.Comm, eng *engine.Engine, g *graph.Graph, a *partition.Assig
 // identically everywhere from the replicated δ and solved with the
 // column-distributed parallel simplex; vertex migration is realized with
 // real messages from each source partition's owner to the destination's.
-func pbalance(c *comm.Comm, g *graph.Graph, a *partition.Assignment, lay *layering.Result, targets []int, epsMax float64) (moved int, ok bool, err error) {
+func pbalance(ctx context.Context, c *comm.Comm, g *graph.Graph, a *partition.Assignment, lay *layering.Result, targets []int, epsMax float64) (moved int, ok bool, err error) {
 	sizes := a.Sizes(g)
 	for eps := 1.0; eps <= epsMax; eps++ {
 		m, err := balance.Formulate(lay.Delta, sizes, targets, eps)
 		if err != nil {
 			return 0, false, err
 		}
-		sol, err := SolveLP(c, m.Prob)
+		sol, err := SolveLP(ctx, c, m.Prob)
 		if err != nil {
 			return 0, false, err
 		}
@@ -411,12 +417,15 @@ func migrate(c *comm.Comm, a *partition.Assignment, lay *layering.Result, flows 
 // partition, candidate counts b(i,j) all-gathered, the refinement LP
 // solved in parallel, and moves migrated like pbalance. Returns the
 // number of rounds performed.
-func prefine(c *comm.Comm, eng *engine.Engine, g *graph.Graph, a *partition.Assignment, opt Options) (int, error) {
+func prefine(ctx context.Context, c *comm.Comm, eng *engine.Engine, g *graph.Graph, a *partition.Assignment, opt Options) (int, error) {
 	ranks := c.Size()
 	best := a.Clone()
 	bestCut := partition.Cut(g, a).TotalWeight
 	rounds := 0
 	for round := 0; round < opt.refineRounds(); round++ {
+		if err := cancel.Check(ctx, "parallel refinement"); err != nil {
+			return rounds, err
+		}
 		strict := round >= opt.strictAfter()
 		cands, err := eng.Gains(a, strict)
 		if err != nil {
@@ -443,7 +452,7 @@ func prefine(c *comm.Comm, eng *engine.Engine, g *graph.Graph, a *partition.Assi
 		if len(pairs) == 0 {
 			break
 		}
-		sol, err := SolveLP(c, prob)
+		sol, err := SolveLP(ctx, c, prob)
 		if err != nil {
 			return rounds, err
 		}

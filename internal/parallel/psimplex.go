@@ -9,9 +9,11 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/cancel"
 	"repro/internal/comm"
 	"repro/internal/lp"
 )
@@ -28,12 +30,12 @@ const pivotTol = 1e-9
 // Per pivot, a rank does O(m · ownedCols) flops and the network carries
 // one m-length column broadcast — the parallelization the paper sketches
 // for its dominant cost.
-func SolveLP(c *comm.Comm, prob *lp.Problem) (*lp.Solution, error) {
+func SolveLP(ctx context.Context, c *comm.Comm, prob *lp.Problem) (*lp.Solution, error) {
 	std, err := lp.Standardize(prob)
 	if err != nil {
 		return nil, err
 	}
-	s := &psimplex{c: c, std: std}
+	s := &psimplex{c: c, std: std, ctx: ctx}
 	return s.solve()
 }
 
@@ -50,6 +52,7 @@ type psimplex struct {
 	basis []int
 	cost  []float64 // current phase's cost
 	iters int
+	ctx   context.Context
 }
 
 func (s *psimplex) owned(j int) bool { return j%s.c.Size() == s.c.Rank() }
@@ -167,6 +170,13 @@ func (s *psimplex) iterate(maxIter int) (lp.Status, error) {
 	for {
 		if s.iters >= maxIter {
 			return lp.IterLimit, nil
+		}
+		if s.iters&255 == 0 {
+			// Every rank polls the same context at the same pivot count, so
+			// an abort is SPMD-consistent: all ranks leave together.
+			if err := cancel.Check(s.ctx, "parallel simplex"); err != nil {
+				return lp.IterLimit, err
+			}
 		}
 		bland := s.iters >= blandAfter
 		// Local candidate among owned columns.

@@ -196,8 +196,14 @@ func Cut(g *graph.Graph, a *Assignment) CutStats {
 
 // Imbalance returns max(weight)/mean(weight) over partitions; 1.0 is
 // perfectly balanced. An assignment with an empty partition still gets a
-// finite value (its max is over the others).
+// finite value (its max is over the others). Degenerate inputs — an
+// empty or zero-total-weight graph, or an assignment with no partitions —
+// would divide by a zero mean; they report 1.0 (trivially balanced)
+// instead of NaN so monitoring ratios stay finite.
 func Imbalance(g *graph.Graph, a *Assignment) float64 {
+	if a.P <= 0 {
+		return 1
+	}
 	w := a.Weights(g)
 	var sum, max float64
 	for _, x := range w {
@@ -206,10 +212,10 @@ func Imbalance(g *graph.Graph, a *Assignment) float64 {
 			max = x
 		}
 	}
-	if sum == 0 {
+	mean := sum / float64(a.P)
+	if !(mean > 0) {
 		return 1
 	}
-	mean := sum / float64(a.P)
 	return max / mean
 }
 

@@ -2,6 +2,7 @@ package partition
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -114,6 +115,41 @@ func TestImbalance(t *testing.T) {
 	b.Part = []int32{0, 0, 1, 1}
 	if got := Imbalance(g, b); got != 1.0 {
 		t.Fatalf("imbalance = %g, want 1.0", got)
+	}
+}
+
+// TestImbalanceDegenerate guards the mean-weight division: empty graphs,
+// zero-weight graphs and partitionless assignments must report the
+// trivially balanced 1.0, never NaN or ±Inf.
+func TestImbalanceDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		a    *Assignment
+	}{
+		{"empty graph", graph.New(0), New(0, 4)},
+		{"no partitions", graph.NewWithVertices(3), &Assignment{Part: []int32{-1, -1, -1}, P: 0}},
+		{"all unassigned", graph.NewWithVertices(3), New(3, 2)},
+	}
+	zw := graph.NewWithVertices(3)
+	for v := 0; v < 3; v++ {
+		zw.SetVertexWeight(graph.Vertex(v), 0)
+	}
+	za := &Assignment{Part: []int32{0, 0, 1}, P: 2}
+	cases = append(cases, struct {
+		name string
+		g    *graph.Graph
+		a    *Assignment
+	}{"zero-weight vertices", zw, za})
+
+	for _, tc := range cases {
+		got := Imbalance(tc.g, tc.a)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("%s: imbalance = %g, want finite 1.0", tc.name, got)
+		}
+		if got != 1.0 {
+			t.Fatalf("%s: imbalance = %g, want 1.0", tc.name, got)
+		}
 	}
 }
 

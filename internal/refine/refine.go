@@ -15,10 +15,12 @@
 package refine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/lp"
 	"repro/internal/partition"
@@ -321,6 +323,10 @@ type Options struct {
 	StrictAfter int
 	// Solver picks the simplex implementation (nil = lp.Bounded).
 	Solver lp.Solver
+	// OnRound, if non-nil, is invoked after each applied round with the
+	// 1-based round number and the vertices moved — the observability hook
+	// the engine turns into stage events.
+	OnRound func(round, moved int)
 }
 
 // Rounds returns MaxRounds with the default applied.
@@ -363,7 +369,7 @@ type Stats struct {
 // seen, so the result never has a worse cut than the input.
 func Refine(g *graph.Graph, a *partition.Assignment, opt Options) (*Stats, error) {
 	var scratch Scratch // one gains arena reused across rounds
-	st, _, err := Drive(g, a, opt, func(strict bool) (*Candidates, error) {
+	st, _, err := Drive(context.Background(), g, a, opt, func(strict bool) (*Candidates, error) {
 		return scratch.Gains(g, a, strict)
 	}, nil)
 	return st, err
@@ -375,17 +381,27 @@ func Refine(g *graph.Graph, a *partition.Assignment, opt Options) (*Stats, error
 // seen (restored at the end if a later round regressed). bestBuf, if
 // non-nil, is reused for the best-assignment snapshot; the (possibly
 // regrown) buffer is returned for the caller to keep.
-func Drive(g *graph.Graph, a *partition.Assignment, opt Options, gains func(strict bool) (*Candidates, error), bestBuf []int32) (*Stats, []int32, error) {
+//
+// The context is polled before every round and inside the LP solve. An
+// abort restores the best assignment seen so far, so a canceled
+// refinement still leaves a valid (and never-worse) partition behind.
+func Drive(ctx context.Context, g *graph.Graph, a *partition.Assignment, opt Options, gains func(strict bool) (*Candidates, error), bestBuf []int32) (*Stats, []int32, error) {
 	st := &Stats{}
 	st.CutBefore = partition.Cut(g, a).TotalWeight
 	best := append(bestBuf[:0], a.Part...)
 	bestCut := st.CutBefore
 	cur := st.CutBefore
+	var abort error
 	for round := 0; round < opt.Rounds(); round++ {
+		if err := cancel.Check(ctx, "refinement"); err != nil {
+			abort = err
+			break
+		}
 		strict := round >= opt.StrictAfterRounds()
 		cands, err := gains(strict)
 		if err != nil {
-			return st, best, err
+			abort = err
+			break
 		}
 		prob, pairs := Formulate(cands)
 		if len(pairs) == 0 {
@@ -394,9 +410,10 @@ func Drive(g *graph.Graph, a *partition.Assignment, opt Options, gains func(stri
 		if v, c := lp.DenseSize(prob); v > st.LPVars {
 			st.LPVars, st.LPCons = v, c
 		}
-		sol, err := opt.ResolveSolver().Solve(prob)
+		sol, err := opt.ResolveSolver().Solve(ctx, prob)
 		if err != nil {
-			return st, best, fmt.Errorf("refine: %w", err)
+			abort = fmt.Errorf("refine: %w", err)
+			break
 		}
 		st.Iterations += sol.Iterations
 		if sol.Status != lp.Optimal || sol.Objective < 0.5 {
@@ -404,10 +421,14 @@ func Drive(g *graph.Graph, a *partition.Assignment, opt Options, gains func(stri
 		}
 		moved, err := Apply(a, cands, pairs, sol.X)
 		if err != nil {
-			return st, best, err
+			abort = err
+			break
 		}
 		st.Rounds++
 		st.Moved += moved
+		if opt.OnRound != nil {
+			opt.OnRound(st.Rounds, moved)
+		}
 		cur = partition.Cut(g, a).TotalWeight
 		if cur < bestCut {
 			bestCut = cur
@@ -421,5 +442,5 @@ func Drive(g *graph.Graph, a *partition.Assignment, opt Options, gains func(stri
 		copy(a.Part, best)
 	}
 	st.CutAfter = bestCut
-	return st, best, nil
+	return st, best, abort
 }

@@ -1,0 +1,257 @@
+package igp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/lp"
+	"repro/internal/parallel"
+	"repro/internal/refine"
+)
+
+// Event is one stage-level observation streamed to a [WithObserver]
+// callback during Repartition: phase start/end spans with wall-clock,
+// the ε and vertex count of every balance stage, and each applied
+// refinement round. Events arrive in pipeline order on the calling
+// goroutine; see the Kind/Phase fields for the exact contract.
+type Event = engine.Event
+
+// EventKind distinguishes observer events.
+type EventKind = engine.EventKind
+
+// Phase names one of the pipeline's four phases.
+type Phase = engine.Phase
+
+// The observer event kinds.
+const (
+	EventStart = engine.EventStart
+	EventEnd   = engine.EventEnd
+	EventRound = engine.EventRound
+)
+
+// The pipeline phases reported in events and PhaseTimings.
+const (
+	PhaseAssign  = engine.PhaseAssign
+	PhaseLayer   = engine.PhaseLayer
+	PhaseBalance = engine.PhaseBalance
+	PhaseRefine  = engine.PhaseRefine
+)
+
+// config is the validated product of applying functional options.
+type config struct {
+	solver       Solver
+	refine       bool
+	epsilonMax   float64
+	maxStages    int
+	refineRounds int
+	tolerance    int
+	batches      int
+	observer     func(Event)
+}
+
+// An Option configures an [Engine] (or a one-shot [Repartition] call).
+// Options are validated eagerly: a misconfiguration — an unknown solver
+// name, a non-positive stage cap, batches < 1 — is reported by NewEngine
+// or Repartition before any work starts, never mid-run.
+type Option func(*config) error
+
+// buildConfig applies opts over the defaults, failing on the first
+// invalid option.
+func buildConfig(opts []Option) (*config, error) {
+	cfg := &config{batches: 1}
+	for _, o := range opts {
+		if o == nil {
+			return nil, fmt.Errorf("igp: nil Option")
+		}
+		if err := o(cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.solver == nil {
+		s, err := lp.Lookup("")
+		if err != nil {
+			return nil, err
+		}
+		cfg.solver = s
+	}
+	return cfg, nil
+}
+
+// WithRefine enables the cut-refinement phase (the paper's IGPR).
+func WithRefine() Option {
+	return func(c *config) error {
+		c.refine = true
+		return nil
+	}
+}
+
+// WithRefineRounds enables refinement and caps its LP rounds at n ≥ 1
+// (the default is 8).
+func WithRefineRounds(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("igp: WithRefineRounds(%d): rounds must be ≥ 1", n)
+		}
+		c.refine = true
+		c.refineRounds = n
+		return nil
+	}
+}
+
+// WithSolver selects the simplex implementation by registry name:
+// "bounded" (the default), "dense", "revised", or anything added via
+// [RegisterSolver]. Unknown names fail at NewEngine/Repartition time.
+func WithSolver(name string) Option {
+	return func(c *config) error {
+		s, err := lp.Lookup(name)
+		if err != nil {
+			return fmt.Errorf("igp: WithSolver: %w", err)
+		}
+		c.solver = s
+		return nil
+	}
+}
+
+// WithTolerance allows partition sizes to deviate from their ideal
+// targets by up to n ≥ 0 vertices (default 0 = the paper's exact
+// balance). Positive values trade residual imbalance for less movement.
+func WithTolerance(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("igp: WithTolerance(%d): tolerance must be ≥ 0", n)
+		}
+		c.tolerance = n
+		return nil
+	}
+}
+
+// WithEpsilonMax bounds the balance relaxation factor ε at c ≥ 1 (the
+// paper's upper bound C; default 8).
+func WithEpsilonMax(eps float64) Option {
+	return func(c *config) error {
+		if eps < 1 {
+			return fmt.Errorf("igp: WithEpsilonMax(%g): bound must be ≥ 1", eps)
+		}
+		c.epsilonMax = eps
+		return nil
+	}
+}
+
+// WithMaxStages caps multi-stage balancing at n ≥ 1 stages (default 16).
+func WithMaxStages(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("igp: WithMaxStages(%d): stage cap must be ≥ 1", n)
+		}
+		c.maxStages = n
+		return nil
+	}
+}
+
+// WithBatches reveals the new vertices in k ≥ 1 groups (ordered by
+// distance from the old region) and repartitions after each — the
+// paper's §2.3 fallback for incremental changes too severe for a single
+// correction. k = 1 (the default) is the ordinary single pass.
+func WithBatches(k int) Option {
+	return func(c *config) error {
+		if k < 1 {
+			return fmt.Errorf("igp: WithBatches(%d): batches must be ≥ 1", k)
+		}
+		c.batches = k
+		return nil
+	}
+}
+
+// WithObserver streams stage-level [Event]s to fn during Repartition —
+// phase spans, per-stage ε and movement, refinement rounds — for live
+// dashboards and tracing. fn runs synchronously on the repartitioning
+// goroutine and must not be nil.
+func WithObserver(fn func(Event)) Option {
+	return func(c *config) error {
+		if fn == nil {
+			return fmt.Errorf("igp: WithObserver(nil): observer must not be nil")
+		}
+		c.observer = fn
+		return nil
+	}
+}
+
+// WithOptions merges a legacy [Options] struct into the functional-option
+// world, with the legacy defaulting rules (zero values mean defaults,
+// non-positive caps fall back rather than erroring). New code should use
+// the individual With* options, which validate eagerly.
+func WithOptions(opt Options) Option {
+	return func(c *config) error {
+		s, err := lp.Lookup(string(opt.Solver))
+		if err != nil {
+			return fmt.Errorf("igp: %w", err)
+		}
+		c.solver = s
+		c.refine = opt.Refine
+		c.epsilonMax = opt.EpsilonMax
+		c.maxStages = opt.MaxStages
+		c.refineRounds = opt.RefineRounds
+		c.tolerance = opt.Tolerance
+		return nil
+	}
+}
+
+// coreOptions assembles the internal engine configuration.
+func (c *config) coreOptions() core.Options {
+	return core.Options{
+		Solver:     c.solver,
+		EpsilonMax: c.epsilonMax,
+		MaxStages:  c.maxStages,
+		Tolerance:  c.tolerance,
+		Refine:     c.refine,
+		RefineOptions: refine.Options{
+			MaxRounds: c.refineRounds,
+			Solver:    c.solver,
+		},
+		Observer: c.observer,
+	}
+}
+
+// parallelOptions assembles the SPMD simulator configuration.
+func (c *config) parallelOptions() parallel.Options {
+	return parallel.Options{
+		EpsilonMax:   c.epsilonMax,
+		MaxStages:    c.maxStages,
+		Refine:       c.refine,
+		RefineRounds: c.refineRounds,
+	}
+}
+
+// SolverName selects a simplex implementation in the legacy [Options]
+// struct. See [WithSolver] for the functional form.
+type SolverName string
+
+// Available built-in simplex implementations.
+const (
+	SolverDense   SolverName = "dense"   // the paper's dense tableau
+	SolverBounded SolverName = "bounded" // implicit variable bounds (default)
+	SolverRevised SolverName = "revised" // sparse revised simplex
+)
+
+// Options is the legacy flat configuration struct.
+//
+// Deprecated: Use functional options ([WithRefine], [WithSolver],
+// [WithTolerance], …) with [Repartition] or [NewEngine]; bridge existing
+// structs with [WithOptions].
+type Options struct {
+	// Refine enables the cut-refinement phase (the paper's IGPR).
+	Refine bool
+	// Solver picks the simplex implementation (default bounded).
+	Solver SolverName
+	// EpsilonMax bounds the balance relaxation factor ε (default 8).
+	EpsilonMax float64
+	// MaxStages caps multi-stage balancing (default 16).
+	MaxStages int
+	// RefineRounds caps refinement LP rounds (default 8).
+	RefineRounds int
+	// Tolerance allows partition sizes to deviate from their ideal targets
+	// by up to this many vertices (default 0 = the paper's exact balance).
+	// Positive values trade residual imbalance for less vertex movement.
+	Tolerance int
+}

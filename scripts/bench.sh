@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # bench.sh — verify step + phase-benchmark trajectory.
 #
-# Runs static checks (go vet, gofmt), then the hot-path phase benchmarks
-# with -benchmem, and writes the parsed results to BENCH_<N>.json (default
-# BENCH_1.json) at the repo root so successive PRs accumulate a
+# Runs static checks (go vet, gofmt), the tier-1 tests, a race-detector
+# pass, then the hot-path phase benchmarks with -benchmem, and writes the
+# parsed results — including the pipeline's per-phase wall-clock from
+# Stats.PhaseTimings (via `igpbench -table phases`) — to BENCH_<N>.json
+# (default BENCH_1.json) at the repo root so successive PRs accumulate a
 # performance trajectory.
 #
 # Usage:  scripts/bench.sh [N]
 #   N        trajectory index (default 1)
 #   BENCH_FILTER   override the benchmark regexp
 #   BENCH_TIME     override -benchtime (default 200x)
+#   BENCH_SKIP_RACE=1   skip the race-detector pass (slow machines)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,13 +35,23 @@ fi
 echo "== go test (tier 1) =="
 go test ./... > /dev/null
 
+if [ "${BENCH_SKIP_RACE:-0}" != "1" ]; then
+    echo "== go test -race =="
+    go test -race ./... > /dev/null
+fi
+
+echo "== phase timings (igpbench -table phases) =="
+phases="$(go run ./cmd/igpbench -table phases)"
+echo "$phases"
+
 echo "== benchmarks ($filter) =="
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" . | tee "$raw"
 
-# Parse `BenchmarkName  N  X ns/op  Y B/op  Z allocs/op` lines into JSON.
-awk -v idx="$idx" '
+# Parse `BenchmarkName  N  X ns/op  Y B/op  Z allocs/op` lines into JSON,
+# folding in the per-phase timing record.
+awk -v idx="$idx" -v phases="$phases" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -53,7 +66,7 @@ BEGIN { n = 0 }
                         name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs))
 }
 END {
-    printf "{\n  \"trajectory\": %s,\n  \"benchmarks\": [\n", idx
+    printf "{\n  \"trajectory\": %s,\n  \"phase_timings\": %s,\n  \"benchmarks\": [\n", idx, phases
     for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n-1 ? "," : "")
     printf "  ]\n}\n"
 }' "$raw" > "$out"

@@ -1,0 +1,87 @@
+package igp
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// PhaseTimings is the per-phase wall-clock breakdown of one Repartition
+// call: phase 1 nearest-partition assignment, phase 2 boundary layering
+// (summed over balancing stages), phase 3 LP balancing (formulate +
+// solve + move, summed over stages), and phase 4 refinement. For a
+// single-pass run their sum is within bookkeeping noise of
+// Stats.Elapsed; a WithBatches(k>1) run sums the per-batch pipelines,
+// which excludes the subgraph construction between batches.
+type PhaseTimings struct {
+	Assign  time.Duration
+	Layer   time.Duration
+	Balance time.Duration
+	Refine  time.Duration
+}
+
+// Total sums the four phases.
+func (t PhaseTimings) Total() time.Duration {
+	return t.Assign + t.Layer + t.Balance + t.Refine
+}
+
+// Stats reports what Repartition did.
+type Stats struct {
+	// NewAssigned is the number of new vertices placed in phase 1.
+	NewAssigned int
+	// Stages is the number of balancing stages used (the paper's IGP(k)).
+	Stages int
+	// EpsilonUsed lists the relaxation factor of each stage.
+	EpsilonUsed []float64
+	// BalanceMoved counts vertices moved for load balance.
+	BalanceMoved int
+	// RefineMoved counts vertices moved by refinement.
+	RefineMoved int
+	// RefineRounds is the number of refinement LP rounds applied.
+	RefineRounds int
+	// LPVars and LPCons are the dense-formulation dimensions of the
+	// largest balance LP (the paper's v and c).
+	LPVars, LPCons int
+	// LPIterations is the total simplex pivots across every balance stage
+	// and refinement round.
+	LPIterations int
+	// CutBefore and CutAfter report cutset quality around balancing and
+	// refinement.
+	CutBefore, CutAfter CutStats
+	// PhaseTimings is the per-phase wall-clock breakdown.
+	PhaseTimings PhaseTimings
+	// Elapsed is the wall clock of the whole pipeline, measured inside the
+	// engine (it excludes callers' option conversion).
+	Elapsed time.Duration
+}
+
+// convertStatsInto fills dst from the engine's internal stats, reusing
+// dst's EpsilonUsed capacity so steady-state conversion through a warm
+// [Engine] allocates nothing.
+func convertStatsInto(dst *Stats, st *core.Stats) {
+	eps := dst.EpsilonUsed[:0]
+	for _, sg := range st.Stages {
+		eps = append(eps, sg.Epsilon)
+	}
+	*dst = Stats{
+		NewAssigned:  st.NewAssigned,
+		Stages:       len(st.Stages),
+		EpsilonUsed:  eps,
+		BalanceMoved: st.BalanceMoved,
+		LPIterations: st.LPIterations,
+		CutBefore:    st.CutBefore,
+		CutAfter:     st.CutAfter,
+		PhaseTimings: PhaseTimings{
+			Assign:  st.AssignTime,
+			Layer:   st.LayerTime,
+			Balance: st.BalanceTime,
+			Refine:  st.RefineTime,
+		},
+		Elapsed: st.Elapsed,
+	}
+	dst.LPVars, dst.LPCons = st.MaxLPSize()
+	if st.Refine != nil {
+		dst.RefineMoved = st.Refine.Moved
+		dst.RefineRounds = st.Refine.Rounds
+	}
+}
