@@ -8,9 +8,12 @@
 //	igpbench -table speedup               # §4 speedup claim (15–20× at 32)
 //	igpbench -table lpsize                # §4 LP-size independence claim
 //	igpbench -table refine                # refinement-quality ablation
+//	igpbench -table solvers               # per-solver pivots (warm vs cold)
 //	igpbench -table all                   # everything
 //
 // Flags -p, -ranks, -seed, -solver and -skipsim adjust the experiment.
+// See README.md for example output, including the "dual-warm"
+// warm-started dual simplex comparison row.
 package main
 
 import (
@@ -27,7 +30,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "fig11", "table to regenerate: fig11|fig14|speedup|lpsize|baselines|refine|phases|all")
+	table := flag.String("table", "fig11", "table to regenerate: fig11|fig14|speedup|lpsize|baselines|refine|solvers|phases|all")
 	seed := flag.Int64("seed", 1994, "workload seed")
 	p := flag.Int("p", 32, "number of partitions")
 	ranks := flag.Int("ranks", 32, "simulated machine size")
@@ -90,6 +93,15 @@ func main() {
 		rows, err := bench.Baselines(seq, cfg)
 		exitOn(err)
 		fmt.Print(bench.FormatBaselines(rows, cfg.P))
+		fmt.Println()
+	}
+	if run("solvers") {
+		ok = true
+		seq, err := mesh.PaperSequenceA(*seed)
+		exitOn(err)
+		rows, err := bench.SolverComparison(seq, cfg, igp.SolverNames())
+		exitOn(err)
+		fmt.Print(bench.FormatSolvers(rows, cfg.P))
 		fmt.Println()
 	}
 	if run("refine") {

@@ -38,53 +38,149 @@ type Model struct {
 	RHS []int
 }
 
-// Surpluses returns sizes[j] − targets[j] for each partition.
-func Surpluses(sizes, targets []int) []int {
-	out := make([]int, len(sizes))
-	for j := range sizes {
-		out[j] = sizes[j] - targets[j]
+// relaxedRHSInto divides each surplus (sizes[j] − targets[j]) by eps,
+// truncating toward zero, then repairs the result to sum to zero (an LP
+// over flow-conservation equalities is trivially infeasible otherwise).
+// The result is written into dst, which is grown as needed and reused.
+func relaxedRHSInto(dst []int, sizes, targets []int, eps float64) []int {
+	if cap(dst) < len(sizes) {
+		dst = make([]int, len(sizes))
 	}
-	return out
-}
-
-// relaxedRHS divides each surplus by eps, truncating toward zero, then
-// repairs the result to sum to zero (an LP over flow-conservation
-// equalities is trivially infeasible otherwise).
-func relaxedRHS(surplus []int, eps float64) []int {
-	rhs := make([]int, len(surplus))
+	dst = dst[:len(sizes)]
 	if eps < 1 {
 		eps = 1
 	}
 	sum := 0
-	for j, s := range surplus {
-		rhs[j] = int(math.Trunc(float64(s) / eps))
-		sum += rhs[j]
+	for j := range sizes {
+		dst[j] = int(math.Trunc(float64(sizes[j]-targets[j]) / eps))
+		sum += dst[j]
 	}
 	for sum != 0 {
 		// Move the entry whose rounded value drifted furthest from s/eps in
 		// the direction that shrinks the sum.
 		best, bestDrift := -1, math.Inf(-1)
-		for j, s := range surplus {
-			exact := float64(s) / eps
+		for j := range sizes {
+			exact := float64(sizes[j]-targets[j]) / eps
 			var drift float64
 			if sum > 0 {
-				drift = float64(rhs[j]) - exact // positive drift: safe to decrement
+				drift = float64(dst[j]) - exact // positive drift: safe to decrement
 			} else {
-				drift = exact - float64(rhs[j])
+				drift = exact - float64(dst[j])
 			}
 			if drift > bestDrift {
 				bestDrift, best = drift, j
 			}
 		}
 		if sum > 0 {
-			rhs[best]--
+			dst[best]--
 			sum--
 		} else {
-			rhs[best]++
+			dst[best]++
 			sum++
 		}
 	}
-	return rhs
+	return dst
+}
+
+// relaxedRHS is the allocating form of relaxedRHSInto over a
+// precomputed surplus vector.
+func relaxedRHS(surplus []int, eps float64) []int {
+	return relaxedRHSInto(nil, surplus, make([]int, len(surplus)), eps)
+}
+
+// Arena owns the reusable buffers of the balance-LP formulation: the
+// Problem's objective/bound/constraint storage, the pair mapping and
+// the RHS vector. Buffers grow to the largest formulation seen and are
+// then reused, so steady-state formulation through a warm engine
+// allocates nothing — mirroring the engine's CSR and scratch reuse.
+// The Model returned by FormulateTol is owned by the Arena and
+// invalidated by its next call. The zero value is ready to use.
+type Arena struct {
+	model Model
+	prob  lp.Problem
+	pairs [][2]int32
+	rhs   []int
+	terms []lp.Term
+	spans []int // (start, end) offsets into terms, two per constraint
+	cons  []lp.Constraint
+}
+
+// FormulateTol is the arena-backed form of the package-level
+// [FormulateTol]: identical formulation (it is what the public wrapper
+// calls), but built into the arena's reused buffers and without
+// diagnostic variable names.
+func (ar *Arena) FormulateTol(delta [][]int, sizes, targets []int, eps float64, slack int) (*Model, error) {
+	p := len(delta)
+	if len(sizes) != p || len(targets) != p {
+		return nil, fmt.Errorf("balance: dimension mismatch: δ is %d×, sizes %d, targets %d", p, len(sizes), len(targets))
+	}
+	if slack < 0 {
+		return nil, fmt.Errorf("balance: negative slack %d", slack)
+	}
+	ar.rhs = relaxedRHSInto(ar.rhs, sizes, targets, eps)
+	rhs := ar.rhs
+
+	ar.pairs = ar.pairs[:0]
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i != j && delta[i][j] > 0 {
+				ar.pairs = append(ar.pairs, [2]int32{int32(i), int32(j)})
+			}
+		}
+	}
+	pairs := ar.pairs
+	n := len(pairs)
+	prob := &ar.prob
+	prob.Sense = lp.Minimize
+	prob.Names = nil
+	prob.Obj = lp.GrowFloats(prob.Obj, n)
+	prob.Upper = lp.GrowFloats(prob.Upper, n)
+	for v, pr := range pairs {
+		prob.Obj[v] = 1
+		prob.Upper[v] = float64(delta[pr[0]][pr[1]])
+	}
+
+	// Constraint rows are appended into one flat term buffer; the Terms
+	// subslices are bound after the loop so buffer growth cannot leave a
+	// row pointing at a stale backing array.
+	ar.terms = ar.terms[:0]
+	ar.cons = ar.cons[:0]
+	ar.spans = ar.spans[:0]
+	for j := 0; j < p; j++ {
+		start := len(ar.terms)
+		for v, pr := range pairs {
+			if int(pr[0]) == j {
+				ar.terms = append(ar.terms, lp.Term{Var: v, Coef: 1})
+			}
+			if int(pr[1]) == j {
+				ar.terms = append(ar.terms, lp.Term{Var: v, Coef: -1})
+			}
+		}
+		if len(ar.terms) == start {
+			if rhs[j] == 0 || abs(rhs[j]) <= slack {
+				continue
+			}
+			// No movable vertex touches partition j but it must change
+			// size: encode the contradiction (an empty row with nonzero
+			// RHS) so the solver reports infeasibility (the driver will
+			// then relax or re-stage).
+		}
+		if slack == 0 {
+			ar.cons = append(ar.cons, lp.Constraint{Rel: lp.EQ, RHS: float64(rhs[j])})
+			ar.spans = append(ar.spans, start, len(ar.terms))
+		} else {
+			ar.cons = append(ar.cons, lp.Constraint{Rel: lp.GE, RHS: float64(rhs[j] - slack)})
+			ar.spans = append(ar.spans, start, len(ar.terms))
+			ar.cons = append(ar.cons, lp.Constraint{Rel: lp.LE, RHS: float64(rhs[j] + slack)})
+			ar.spans = append(ar.spans, start, len(ar.terms))
+		}
+	}
+	for k := range ar.cons {
+		ar.cons[k].Terms = ar.terms[ar.spans[2*k]:ar.spans[2*k+1]]
+	}
+	prob.Cons = ar.cons
+	ar.model = Model{Prob: prob, Pairs: pairs, RHS: rhs}
+	return &ar.model, nil
 }
 
 // Formulate builds the balance LP for the given layering δ, partition
@@ -99,58 +195,21 @@ func Formulate(delta [][]int, sizes, targets []int, eps float64) (*Model, error)
 // vertices, turning the equality into a pair of inequalities. slack = 0
 // reproduces the paper exactly; slack > 0 (a ParMETIS-style imbalance
 // allowance) trades residual imbalance for less vertex movement.
+//
+// This one-shot form allocates a fresh formulation with diagnostic
+// variable names; the engine formulates through a reused [Arena]
+// instead.
 func FormulateTol(delta [][]int, sizes, targets []int, eps float64, slack int) (*Model, error) {
-	p := len(delta)
-	if len(sizes) != p || len(targets) != p {
-		return nil, fmt.Errorf("balance: dimension mismatch: δ is %d×, sizes %d, targets %d", p, len(sizes), len(targets))
+	var ar Arena
+	m, err := ar.FormulateTol(delta, sizes, targets, eps, slack)
+	if err != nil {
+		return nil, err
 	}
-	if slack < 0 {
-		return nil, fmt.Errorf("balance: negative slack %d", slack)
+	m.Prob.Names = make([]string, len(m.Pairs))
+	for v, pr := range m.Pairs {
+		m.Prob.Names[v] = fmt.Sprintf("l(%d,%d)", pr[0], pr[1])
 	}
-	rhs := relaxedRHS(Surpluses(sizes, targets), eps)
-
-	var pairs [][2]int32
-	for i := 0; i < p; i++ {
-		for j := 0; j < p; j++ {
-			if i != j && delta[i][j] > 0 {
-				pairs = append(pairs, [2]int32{int32(i), int32(j)})
-			}
-		}
-	}
-	prob := lp.NewProblem(lp.Minimize, len(pairs))
-	prob.Names = make([]string, len(pairs))
-	for v, pr := range pairs {
-		prob.SetObjective(v, 1)
-		prob.SetUpper(v, float64(delta[pr[0]][pr[1]]))
-		prob.Names[v] = fmt.Sprintf("l(%d,%d)", pr[0], pr[1])
-	}
-	for j := 0; j < p; j++ {
-		var terms []lp.Term
-		for v, pr := range pairs {
-			if int(pr[0]) == j {
-				terms = append(terms, lp.Term{Var: v, Coef: 1})
-			}
-			if int(pr[1]) == j {
-				terms = append(terms, lp.Term{Var: v, Coef: -1})
-			}
-		}
-		if len(terms) == 0 {
-			if rhs[j] == 0 || abs(rhs[j]) <= slack {
-				continue
-			}
-			// No movable vertex touches partition j but it must change
-			// size: encode the contradiction so the solver reports
-			// infeasibility (the driver will then relax or re-stage).
-			terms = []lp.Term{}
-		}
-		if slack == 0 {
-			prob.AddConstraint(terms, lp.EQ, float64(rhs[j]))
-		} else {
-			prob.AddConstraint(terms, lp.GE, float64(rhs[j]-slack))
-			prob.AddConstraint(terms, lp.LE, float64(rhs[j]+slack))
-		}
-	}
-	return &Model{Prob: prob, Pairs: pairs, RHS: rhs}, nil
+	return m, nil
 }
 
 func abs(x int) int {

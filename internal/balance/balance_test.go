@@ -3,6 +3,7 @@ package balance
 import (
 	"context"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -380,5 +381,77 @@ func TestFormulateTolSlackSatisfiesBand(t *testing.T) {
 		if dev < -2 || dev > 2 {
 			t.Fatalf("partition %d deviates by %d (> slack)", q, dev)
 		}
+	}
+}
+
+// TestArenaFormulateMatchesOneShot: the arena-backed formulation must be
+// the one-shot formulation exactly (modulo diagnostic names), across
+// repeated reuse with changing ε, slack and sizes.
+func TestArenaFormulateMatchesOneShot(t *testing.T) {
+	g, a := unbalancedStripes()
+	lay, err := layering.Layer(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := a.Sizes(g)
+	targets := partition.Targets(g.NumVertices(), 3)
+	var ar Arena
+	for _, tc := range []struct {
+		eps   float64
+		slack int
+	}{{1, 0}, {2, 0}, {1, 2}, {4, 1}, {1, 0}} {
+		want, err := FormulateTol(lay.Delta, sizes, targets, tc.eps, tc.slack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ar.FormulateTol(lay.Delta, sizes, targets, tc.eps, tc.slack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Pairs, want.Pairs) {
+			t.Fatalf("eps=%g slack=%d: pairs diverge", tc.eps, tc.slack)
+		}
+		if !reflect.DeepEqual(got.RHS, want.RHS) {
+			t.Fatalf("eps=%g slack=%d: RHS diverges", tc.eps, tc.slack)
+		}
+		if !lp.SameStructure(got.Prob, want.Prob) {
+			t.Fatalf("eps=%g slack=%d: problem structure diverges", tc.eps, tc.slack)
+		}
+		if !reflect.DeepEqual(got.Prob.Obj, want.Prob.Obj) ||
+			!reflect.DeepEqual(got.Prob.Upper, want.Prob.Upper) {
+			t.Fatalf("eps=%g slack=%d: objective/bounds diverge", tc.eps, tc.slack)
+		}
+		for i := range want.Prob.Cons {
+			if got.Prob.Cons[i].RHS != want.Prob.Cons[i].RHS {
+				t.Fatalf("eps=%g slack=%d: constraint %d RHS diverges", tc.eps, tc.slack, i)
+			}
+		}
+		if err := got.Prob.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestArenaFormulateSteadyStateAllocs: reusing a warm arena for the same
+// dimensions must not allocate.
+func TestArenaFormulateSteadyStateAllocs(t *testing.T) {
+	g, a := unbalancedStripes()
+	lay, err := layering.Layer(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := a.Sizes(g)
+	targets := partition.Targets(g.NumVertices(), 3)
+	var ar Arena
+	if _, err := ar.FormulateTol(lay.Delta, sizes, targets, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := ar.FormulateTol(lay.Delta, sizes, targets, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state arena formulation allocates %.1f objects/op, want 0", allocs)
 	}
 }

@@ -429,6 +429,81 @@ func FormatBaselines(rows []BaselineRow, p int) string {
 	return b.String()
 }
 
+// SolverRow is one row of the per-solver pivot/latency comparison: the
+// same IGPR workload run under one registered simplex, with the LP
+// iteration counts broken down per balance stage and refinement round.
+// Warm-started solvers ("dual-warm") show their gain here: stage and
+// round solves after the first resume from retained bases, so their
+// LPIterations total falls well below the cold solvers' at equal cut.
+type SolverRow struct {
+	Name         string
+	Time         time.Duration
+	Stages       int
+	LPIterations int
+	StagePivots  []int
+	RoundPivots  []int
+	Cut          partition.CutStats
+	Balanced     bool
+}
+
+// SolverComparison runs IGPR on the first refinement of a sequence
+// under each named solver from the registry and reports the per-solver
+// pivot counts and cut quality — the warm-vs-cold evidence the bench
+// trajectory records.
+func SolverComparison(seq *mesh.Sequence, cfg Config, names []string) ([]SolverRow, error) {
+	cfg = cfg.withDefaults()
+	basePart, err := spectral.RSB(seq.Base, cfg.P, spectral.Options{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	baseA := &partition.Assignment{Part: basePart, P: cfg.P}
+	g := seq.Steps[0].Graph
+
+	var rows []SolverRow
+	for _, name := range names {
+		s, err := lp.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		a := baseA.Clone()
+		t0 := time.Now()
+		st, err := core.Repartition(context.Background(), g, a, core.Options{Solver: s, Refine: true})
+		dur := time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("bench: solver %s: %w", name, err)
+		}
+		row := SolverRow{
+			Name:         name,
+			Time:         dur,
+			Stages:       len(st.Stages),
+			LPIterations: st.LPIterations,
+			Cut:          partition.Cut(g, a),
+			Balanced:     partition.Balanced(a.Sizes(g)),
+		}
+		for _, sg := range st.Stages {
+			row.StagePivots = append(row.StagePivots, sg.LPPivots)
+		}
+		if st.Refine != nil {
+			row.RoundPivots = append(row.RoundPivots, st.Refine.RoundPivots...)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatSolvers renders the per-solver comparison.
+func FormatSolvers(rows []SolverRow, p int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-solver LP pivots — IGPR, mesh A first refinement (P = %d)\n", p)
+	fmt.Fprintf(&b, "  %-10s %10s %7s %8s %6s %9s  %s\n",
+		"Solver", "Time-s", "Stages", "LPIters", "Cut", "Balanced", "Round pivots")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-10s %10s %7d %8d %6d %9v  %v\n",
+			r.Name, fmtDur(r.Time), r.Stages, r.LPIterations, r.Cut.Total, r.Balanced, r.RoundPivots)
+	}
+	return b.String()
+}
+
 // RefineQuality compares IGP, IGPR and the greedy (KL/FM-style) baseline
 // cut on one refinement step (ablation A2/A4).
 type RefineQuality struct {

@@ -46,6 +46,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"time"
 
 	"repro/internal/balance"
@@ -64,7 +65,10 @@ var ErrNeedRepartition = errors.New("core: incremental balance infeasible; repar
 
 // Options configures an Engine (and the core.Repartition wrapper).
 type Options struct {
-	// Solver is the simplex implementation (nil = lp.Bounded{}).
+	// Solver is the simplex implementation (nil = lp.Bounded{}). A
+	// stateful solver implementing lp.SessionSolver (e.g. "dual-warm")
+	// is forked at New: the engine session holds a private instance so
+	// retained warm-start bases live exactly as long as the engine.
 	Solver lp.Solver
 	// EpsilonMax is the paper's upper bound C on the relaxation factor;
 	// stages try ε = 1, 2, … up to it (0 = default 8).
@@ -183,6 +187,8 @@ type Engine struct {
 	// Scratch arenas.
 	lay      layering.Scratch
 	gain     refine.Scratch
+	balArena balance.Arena
+	refArena refine.LPArena
 	touchBuf []graph.Vertex
 	sizes    []int
 	targets  []int
@@ -196,8 +202,39 @@ const neverSeen int32 = -2
 
 // New returns an engine bound to g. The first Repartition (or Layer/Gains)
 // call pays a full snapshot build; later calls are incremental.
+//
+// Stateful solvers (lp.SessionSolver, e.g. the warm-started "dual-warm"
+// dual simplex) are forked here: the engine session owns a private
+// instance whose retained bases live exactly as long as the engine, so
+// the warm state of one engine's balance/refine LP stream is never
+// shared with — or evicted by — another engine, and a one-shot
+// core.Repartition (fresh engine per call) never reuses bases across
+// calls. When the refine solver is the balance solver (the default),
+// both phases share one session, so a basis retained by a balance stage
+// can warm a structurally identical later solve and vice versa.
 func New(g *graph.Graph, opt Options) *Engine {
+	base := opt.Solver
+	if base == nil {
+		base = lp.Bounded{}
+	}
+	session := lp.Session(base)
+	opt.Solver = session
+	switch rs := opt.RefineOptions.Solver; {
+	case rs == nil || sameSolverInstance(rs, base):
+		opt.RefineOptions.Solver = session
+	default:
+		opt.RefineOptions.Solver = lp.Session(rs)
+	}
 	return &Engine{g: g, opt: opt}
+}
+
+// sameSolverInstance reports whether a and b are the very same solver
+// value — the only case where balance and refine should share one
+// session. The Comparable guard keeps an exotic non-comparable solver
+// type from panicking the interface comparison; such a value simply
+// gets its own session.
+func sameSolverInstance(a, b lp.Solver) bool {
+	return reflect.TypeOf(a).Comparable() && a == b
 }
 
 // Graph returns the graph the engine is bound to.
@@ -454,7 +491,7 @@ func (e *Engine) Repartition(ctx context.Context, a *partition.Assignment) (*Sta
 
 		tB := time.Now()
 		e.emit(Event{Kind: EventStart, Phase: PhaseBalance, Stage: stage + 1})
-		stageStat, ok, err := balanceStage(ctx, a, lay, sizes, targets, solver, opt.epsMax(), opt.Tolerance)
+		stageStat, ok, err := balanceStage(ctx, a, lay, sizes, targets, solver, opt.epsMax(), opt.Tolerance, &e.balArena)
 		dB := time.Since(tB)
 		st.BalanceTime += dB
 		if err != nil || !ok {
@@ -484,10 +521,9 @@ func (e *Engine) Repartition(ctx context.Context, a *partition.Assignment) (*Sta
 	if opt.Refine {
 		tR := time.Now()
 		e.emit(Event{Kind: EventStart, Phase: PhaseRefine})
+		// New already resolved RefineOptions.Solver to a (possibly
+		// shared) session; it is never nil here.
 		ro := opt.RefineOptions
-		if ro.Solver == nil {
-			ro.Solver = solver
-		}
 		if opt.Observer != nil && ro.OnRound == nil {
 			ro.OnRound = func(round, moved int) {
 				e.emit(Event{Kind: EventRound, Phase: PhaseRefine, Stage: round, Moved: moved})
@@ -509,10 +545,15 @@ func (e *Engine) Repartition(ctx context.Context, a *partition.Assignment) (*Sta
 	return st, nil
 }
 
-// balanceStage runs one layer→LP→move stage, escalating ε until feasible.
-func balanceStage(ctx context.Context, a *partition.Assignment, lay *layering.Result, sizes, targets []int, solver lp.Solver, epsMax float64, tol int) (StageStats, bool, error) {
+// balanceStage runs one layer→LP→move stage, escalating ε until
+// feasible. Formulations go through the engine's reused arena, so a
+// steady-state stage allocates nothing building its LP — and because
+// the ε escalation and successive stages only change RHS and bounds
+// over an unchanged pair structure, a warm-started solver resumes each
+// of these solves from the previous basis.
+func balanceStage(ctx context.Context, a *partition.Assignment, lay *layering.Result, sizes, targets []int, solver lp.Solver, epsMax float64, tol int, ar *balance.Arena) (StageStats, bool, error) {
 	for eps := 1.0; eps <= epsMax; eps++ {
-		m, err := balance.FormulateTol(lay.Delta, sizes, targets, eps, tol)
+		m, err := ar.FormulateTol(lay.Delta, sizes, targets, eps, tol)
 		if err != nil {
 			return StageStats{}, false, err
 		}
@@ -549,9 +590,11 @@ func balanceStage(ctx context.Context, a *partition.Assignment, lay *layering.Re
 }
 
 // runRefine is the engine's phase 4: the shared refine.Drive loop fed
-// with boundary-seeded gain scans, keeping the best-seen assignment in
-// the engine's reused arena.
+// with boundary-seeded gain scans, formulating into the engine's reused
+// LP arena and keeping the best-seen assignment in the engine's reused
+// best-part arena.
 func (e *Engine) runRefine(ctx context.Context, a *partition.Assignment, opt refine.Options) (*refine.Stats, error) {
+	opt.Arena = &e.refArena
 	st, best, err := refine.Drive(ctx, e.g, a, opt, func(strict bool) (*refine.Candidates, error) {
 		return e.Gains(a, strict)
 	}, e.bestPart)

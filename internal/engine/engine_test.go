@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/layering"
+	"repro/internal/lp"
 	"repro/internal/partition"
 	"repro/internal/refine"
 	"repro/internal/spectral"
@@ -347,5 +348,124 @@ func TestSteadyStateSmallEditAllocs(t *testing.T) {
 	})
 	if allocs > 4 {
 		t.Fatalf("small-edit Layer allocates %.1f objects/op, want ≤ 4", allocs)
+	}
+}
+
+// TestSteadyStateBalanceFormulateAllocs locks the arena-backed balance
+// LP formulation at zero steady-state allocation through a warm engine,
+// alongside the layering/gains alloc locks above.
+func TestSteadyStateBalanceFormulateAllocs(t *testing.T) {
+	g, a := editableGraph(t, 500, 8, 5)
+	e := New(g, Options{})
+	lay, err := e.Layer(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := a.Sizes(g)
+	targets := partition.Targets(g.NumVertices(), a.P)
+	if _, err := e.balArena.FormulateTol(lay.Delta, sizes, targets, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := e.balArena.FormulateTol(lay.Delta, sizes, targets, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state balance formulation allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestSteadyStateRefineFormulateAllocs locks the arena-backed
+// refinement LP formulation at zero steady-state allocation through a
+// warm engine.
+func TestSteadyStateRefineFormulateAllocs(t *testing.T) {
+	g, a := editableGraph(t, 500, 8, 5)
+	e := New(g, Options{})
+	cands, err := e.Gains(a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.refArena.Formulate(cands)
+	allocs := testing.AllocsPerRun(20, func() {
+		e.refArena.Formulate(cands)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state refine formulation allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestEngineForksSessionSolvers: New must give each engine a private
+// instance of a stateful solver (basis lifetime = engine session), and
+// share that one session between the balance and refine phases when
+// they use the same solver.
+func TestEngineForksSessionSolvers(t *testing.T) {
+	template := lp.NewDualWarm()
+	g1, _ := editableGraph(t, 100, 4, 3)
+	g2, _ := editableGraph(t, 100, 4, 4)
+	e1 := New(g1, Options{Solver: template, Refine: true})
+	e2 := New(g2, Options{Solver: template, Refine: true})
+	s1, ok := e1.opt.Solver.(*lp.DualWarm)
+	if !ok {
+		t.Fatalf("engine solver is %T, want *lp.DualWarm", e1.opt.Solver)
+	}
+	if s1 == template {
+		t.Fatal("engine did not fork the session solver")
+	}
+	if e1.opt.Solver == e2.opt.Solver {
+		t.Fatal("two engines share one solver session")
+	}
+	if e1.opt.RefineOptions.Solver != e1.opt.Solver {
+		t.Fatal("refine phase does not share the engine's solver session")
+	}
+	// A distinct refine solver must be sessionized separately, not
+	// replaced by the balance session.
+	e3 := New(g1, Options{Solver: template, Refine: true,
+		RefineOptions: refine.Options{Solver: lp.Bounded{}}})
+	if e3.opt.RefineOptions.Solver != (lp.Bounded{}) {
+		t.Fatalf("distinct refine solver was replaced by %T", e3.opt.RefineOptions.Solver)
+	}
+	// Even one sharing the balance solver's name: only the *identical
+	// instance* shares a session, so a differently configured refine
+	// DualWarm keeps its own fork (with its own limits).
+	tuned := &lp.DualWarm{MaxIter: 1234}
+	e5 := New(g1, Options{Solver: template, Refine: true,
+		RefineOptions: refine.Options{Solver: tuned}})
+	rf, ok := e5.opt.RefineOptions.Solver.(*lp.DualWarm)
+	if !ok || rf == e5.opt.Solver.(*lp.DualWarm) {
+		t.Fatal("same-name refine solver was collapsed into the balance session")
+	}
+	if rf.MaxIter != 1234 {
+		t.Fatalf("refine session lost its configuration: MaxIter %d, want 1234", rf.MaxIter)
+	}
+	// Stateless solvers pass through untouched.
+	e4 := New(g1, Options{Solver: lp.Revised{}})
+	if e4.opt.Solver != (lp.Revised{}) {
+		t.Fatalf("stateless solver was wrapped: %T", e4.opt.Solver)
+	}
+}
+
+// TestEngineWarmSolverActuallyWarms: through a full engine Repartition
+// sequence, the session's warm counter must climb — the plumbing from
+// registry template to engine session to balance/refine solves is live.
+func TestEngineWarmSolverActuallyWarms(t *testing.T) {
+	g, a := editableGraph(t, 300, 6, 9)
+	e := New(g, Options{Refine: true, Solver: lp.NewDualWarm()})
+	for call := 0; call < 3; call++ {
+		// Unbalance deterministically, then repartition.
+		moved := 0
+		for v := range a.Part {
+			if a.Part[v] == 0 && moved < 20 {
+				a.Part[v] = 1
+				moved++
+			}
+		}
+		if _, err := e.Repartition(context.Background(), a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm, cold := e.opt.Solver.(*lp.DualWarm).Counts()
+	if warm == 0 {
+		t.Fatalf("engine session never warm-started (warm=%d cold=%d)", warm, cold)
 	}
 }

@@ -382,11 +382,42 @@ func (t *tableau) extract() *Solution {
 // DenseSize reports the standard-form dimensions Dense would use for p:
 // the number of simplex columns (variables incl. slack/surplus/artificial)
 // and rows (constraints incl. materialized bounds). This feeds the paper's
-// "v and c" LP-size statistics.
+// "v and c" LP-size statistics. It mirrors newTableau's accounting
+// arithmetically — including the sign normalization that turns a
+// negative-RHS row's relation around — without building the tableau, so
+// the per-stage statistics cost no allocation on the engine's hot path.
 func DenseSize(p *Problem) (vars, cons int) {
-	t, err := newTableau(p, true)
-	if err != nil {
+	if p.Validate() != nil {
 		return 0, 0
 	}
-	return t.nCols, len(t.rows)
+	nSlack, nArt := 0, 0
+	for _, c := range p.Cons {
+		rel := c.Rel
+		if c.RHS < 0 {
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	nBounds := 0
+	for _, u := range p.Upper {
+		if !math.IsInf(u, 1) {
+			nBounds++ // materialized as a ≤ row with slack (u ≥ 0 by Validate)
+		}
+	}
+	cons = len(p.Cons) + nBounds
+	vars = p.NumVars() + nSlack + nBounds + nArt
+	return vars, cons
 }

@@ -1,0 +1,257 @@
+package lp
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mustSolve is a test helper for one solve with error and status checks.
+func mustSolve(t *testing.T, s Solver, p *Problem) *Solution {
+	t.Helper()
+	sol, err := s.Solve(context.Background(), p)
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+	return sol
+}
+
+// TestDualWarmResolveSameProblemZeroPivots: re-solving the identical
+// problem through one session must resume from the retained basis and
+// find it already optimal — zero pivots.
+func TestDualWarmResolveSameProblemZeroPivots(t *testing.T) {
+	s := NewDualWarm()
+	p := paperFig5Problem()
+	first := mustSolve(t, s, p)
+	if first.Status != Optimal {
+		t.Fatalf("status %v", first.Status)
+	}
+	if first.Iterations == 0 {
+		t.Fatal("cold solve took 0 pivots; the warm comparison below would be vacuous")
+	}
+	again := mustSolve(t, s, p)
+	if again.Status != Optimal || math.Abs(again.Objective-first.Objective) > 1e-9 {
+		t.Fatalf("re-solve diverged: %v obj %g", again.Status, again.Objective)
+	}
+	if again.Iterations != 0 {
+		t.Fatalf("warm re-solve took %d pivots, want 0", again.Iterations)
+	}
+	if warm, cold := s.Counts(); warm != 1 || cold != 1 {
+		t.Fatalf("counts warm=%d cold=%d, want 1/1", warm, cold)
+	}
+}
+
+// TestDualWarmPerturbedRHSFewerPivots is the lp-level pivot regression
+// guard: after a cold solve, a same-structure problem with perturbed
+// RHS and bounds must warm-start and use strictly fewer pivots than the
+// cold solve of that same perturbed problem.
+func TestDualWarmPerturbedRHSFewerPivots(t *testing.T) {
+	s := NewDualWarm()
+	p := paperFig5Problem()
+	if sol := mustSolve(t, s, p); sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+
+	// The next balance stage: same pairs, drifted surpluses and δ bounds.
+	q := paperFig5Problem()
+	surplus := []float64{6, 2, -3, -5}
+	for j := range surplus {
+		q.Cons[j].RHS = surplus[j]
+	}
+	q.Upper[0], q.Upper[3] = 7, 8
+
+	warmSol := mustSolve(t, s, q)
+	coldSol := mustSolve(t, NewDualWarm(), q)
+	if warmSol.Status != Optimal || coldSol.Status != Optimal {
+		t.Fatalf("statuses %v / %v", warmSol.Status, coldSol.Status)
+	}
+	if math.Abs(warmSol.Objective-coldSol.Objective) > 1e-9 {
+		t.Fatalf("objectives diverge: warm %g cold %g", warmSol.Objective, coldSol.Objective)
+	}
+	if err := CheckFeasible(q, warmSol.X, 1e-8); err != nil {
+		t.Fatal(err)
+	}
+	if warmSol.Iterations >= coldSol.Iterations {
+		t.Fatalf("warm solve took %d pivots, cold %d — warm must be strictly cheaper",
+			warmSol.Iterations, coldSol.Iterations)
+	}
+	if warm, _ := s.Counts(); warm != 1 {
+		t.Fatalf("warm count %d, want 1", warm)
+	}
+}
+
+// TestDualWarmSessionIsolation: sessions forked from one template share
+// no basis state — a solve in one session never warms another.
+func TestDualWarmSessionIsolation(t *testing.T) {
+	tmpl := NewDualWarm()
+	s1, ok := Session(tmpl).(*DualWarm)
+	if !ok {
+		t.Fatal("Session did not fork a *DualWarm")
+	}
+	s2 := Session(tmpl).(*DualWarm)
+	if s1 == tmpl || s1 == s2 {
+		t.Fatal("sessions must be distinct instances")
+	}
+	p := paperFig5Problem()
+	mustSolve(t, s1, p)
+	mustSolve(t, s2, p)
+	if warm, cold := s2.Counts(); warm != 0 || cold != 1 {
+		t.Fatalf("second session counts warm=%d cold=%d, want 0/1 (no shared basis)", warm, cold)
+	}
+	if warm, cold := tmpl.Counts(); warm != 0 || cold != 0 {
+		t.Fatalf("template counts warm=%d cold=%d, want 0/0 (untouched)", warm, cold)
+	}
+}
+
+// TestDualWarmInterleavedStructures: the cache must hold several
+// structures at once — the engine interleaves balance (minimize) and
+// refine (maximize) LPs, and each should stay warm across the other.
+func TestDualWarmInterleavedStructures(t *testing.T) {
+	s := NewDualWarm()
+	bal := paperFig5Problem()
+	ref := paperFig8Problem()
+	mustSolve(t, s, bal)
+	mustSolve(t, s, ref)
+	mustSolve(t, s, bal)
+	mustSolve(t, s, ref)
+	if warm, cold := s.Counts(); warm != 2 || cold != 2 {
+		t.Fatalf("counts warm=%d cold=%d, want 2/2 (both structures cached)", warm, cold)
+	}
+}
+
+// TestDualWarmCacheEviction: exceeding the cache cap evicts the oldest
+// structure, which then solves cold again — no unbounded growth.
+func TestDualWarmCacheEviction(t *testing.T) {
+	s := &DualWarm{CacheSize: 2}
+	mk := func(n int) *Problem {
+		p := NewProblem(Minimize, n)
+		for v := 0; v < n; v++ {
+			p.SetObjective(v, 1)
+			p.SetUpper(v, 4)
+		}
+		terms := make([]Term, n)
+		for v := range terms {
+			terms[v] = Term{Var: v, Coef: 1}
+		}
+		p.AddConstraint(terms, GE, float64(n))
+		return p
+	}
+	mustSolve(t, s, mk(2))
+	mustSolve(t, s, mk(3))
+	mustSolve(t, s, mk(4)) // evicts mk(2)'s basis
+	mustSolve(t, s, mk(2))
+	if warm, cold := s.Counts(); warm != 0 || cold != 4 {
+		t.Fatalf("counts warm=%d cold=%d, want 0/4 (evicted structure re-solves cold)", warm, cold)
+	}
+	if len(s.cache) > 2 || len(s.order) > 2 {
+		t.Fatalf("cache holds %d entries (order %d), cap is 2", len(s.cache), len(s.order))
+	}
+	mustSolve(t, s, mk(2))
+	if warm, _ := s.Counts(); warm != 1 {
+		t.Fatalf("re-inserted structure did not warm-start")
+	}
+}
+
+// TestDualWarmDelegatesUnstartable: a negative cost on an unbounded
+// variable defeats the dual start; the solver must delegate to the
+// primal path, answer correctly, and retain nothing.
+func TestDualWarmDelegatesUnstartable(t *testing.T) {
+	s := NewDualWarm()
+	// min -x s.t. x <= 5 (as a row, x unbounded above as a variable).
+	p := NewProblem(Minimize, 1)
+	p.SetObjective(0, -1)
+	p.AddConstraint([]Term{{0, 1}}, LE, 5)
+	sol := mustSolve(t, s, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-(-5)) > 1e-9 {
+		t.Fatalf("got %v obj %g, want optimal -5", sol.Status, sol.Objective)
+	}
+	if len(s.cache) != 0 {
+		t.Fatal("delegated solve must not retain a basis")
+	}
+	// And a genuinely unbounded one.
+	u := NewProblem(Maximize, 1)
+	u.SetObjective(0, 1)
+	u.AddConstraint([]Term{{0, 1}}, GE, 1)
+	if sol := mustSolve(t, s, u); sol.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", sol.Status)
+	}
+}
+
+// TestDualWarmRandomWarmChains drives long chains of same-structure
+// solves with drifting RHS/bounds through one session, cross-checking
+// every warm result against a cold Bounded solve — the statistical
+// version of the pipeline's stage sequence.
+func TestDualWarmRandomWarmChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	for chain := 0; chain < 30; chain++ {
+		s := NewDualWarm()
+		p := randomFlowLP(rng, 3+rng.Intn(3))
+		warmPivots, coldPivots := 0, 0
+		for step := 0; step < 8; step++ {
+			if step > 0 {
+				for v := range p.Upper {
+					p.Upper[v] = float64(rng.Intn(10))
+				}
+				// Fresh zero-sum surpluses over the same constraint rows.
+				total := 0
+				for i := 0; i < len(p.Cons)-1; i++ {
+					r := rng.Intn(7) - 3
+					p.Cons[i].RHS = float64(r)
+					total += r
+				}
+				p.Cons[len(p.Cons)-1].RHS = -float64(total)
+			}
+			got := mustSolve(t, s, p)
+			want := mustSolve(t, Bounded{}, p)
+			if got.Status != want.Status {
+				t.Fatalf("chain %d step %d: status %v, want %v", chain, step, got.Status, want.Status)
+			}
+			if got.Status == Optimal {
+				if math.Abs(got.Objective-want.Objective) > 1e-6 {
+					t.Fatalf("chain %d step %d: obj %g, want %g", chain, step, got.Objective, want.Objective)
+				}
+				if err := CheckFeasible(p, got.X, 1e-6); err != nil {
+					t.Fatalf("chain %d step %d: %v", chain, step, err)
+				}
+			}
+			if step == 0 {
+				coldPivots = got.Iterations
+			} else {
+				warmPivots += got.Iterations
+			}
+		}
+		_ = coldPivots
+		_ = warmPivots
+	}
+}
+
+// TestStructureHelpers: StructureHash/SameStructure must ignore exactly
+// the warm-startable differences and nothing else.
+func TestStructureHelpers(t *testing.T) {
+	p := paperFig5Problem()
+	q := paperFig5Problem()
+	if !SameStructure(p, q) || p.StructureHash() != q.StructureHash() {
+		t.Fatal("identical problems must share structure")
+	}
+	q.Cons[0].RHS = 99
+	q.Upper[2] = 1
+	q.Obj[1] = -7
+	if !SameStructure(p, q) || p.StructureHash() != q.StructureHash() {
+		t.Fatal("RHS/bound/objective values must not affect structure")
+	}
+	q.Upper[2] = Inf
+	if SameStructure(p, q) {
+		t.Fatal("bound finiteness is structural")
+	}
+	q = paperFig5Problem()
+	q.Cons[0].Rel = LE
+	if SameStructure(p, q) {
+		t.Fatal("relations are structural")
+	}
+	q = paperFig5Problem()
+	q.Cons[0].Terms[0].Coef = 2
+	if SameStructure(p, q) {
+		t.Fatal("coefficients are structural")
+	}
+}

@@ -3,12 +3,17 @@ package lp
 import (
 	"context"
 	"math"
+	"strings"
 	"testing"
 )
 
 // FuzzSolverAgreement feeds randomized small LPs (decoded from raw bytes)
-// to all three solvers and checks they agree on status and optimum, and
-// that reported optima are feasible.
+// to every solver in the registry — not a hard-coded list, so new
+// registrations are covered automatically — and checks they agree on
+// status and optimum, and that reported optima are feasible. The
+// "dual-warm" solver is additionally run twice back-to-back through one
+// session on a same-structure perturbed problem, proving warm-start
+// resumption from a retained basis agrees with cold solves.
 func FuzzSolverAgreement(f *testing.F) {
 	f.Add([]byte{2, 1, 3, 200, 1, 2, 3, 4, 5, 6, 7, 8})
 	f.Add([]byte{3, 2, 0, 0, 9, 9, 9, 1, 1, 1, 0, 0, 0, 5})
@@ -18,37 +23,130 @@ func FuzzSolverAgreement(f *testing.F) {
 		if p == nil {
 			return
 		}
-		var status []Status
-		var objs []float64
-		for _, s := range []Solver{Dense{MaxIter: 20000}, Bounded{MaxIter: 20000}, Revised{MaxIter: 20000}} {
-			sol, err := s.Solve(context.Background(), p)
+		solve := func(label string, s Solver, q *Problem) *Solution {
+			sol, err := s.Solve(context.Background(), q)
 			if err != nil {
-				t.Fatalf("%s: %v", s.Name(), err)
+				t.Fatalf("%s: %v", label, err)
 			}
+			if sol.Status == Optimal {
+				if err := CheckFeasible(q, sol.X, 1e-5); err != nil {
+					t.Fatalf("%s: optimal but infeasible: %v", label, err)
+				}
+			}
+			return sol
+		}
+		agree := func(label string, sol, ref *Solution) {
+			if sol.Status != ref.Status {
+				t.Fatalf("%s: status %v, want %v", label, sol.Status, ref.Status)
+			}
+			if ref.Status == Optimal &&
+				math.Abs(sol.Objective-ref.Objective) > 1e-5*(1+math.Abs(ref.Objective)) {
+				t.Fatalf("%s: objective %g, want %g", label, sol.Objective, ref.Objective)
+			}
+		}
+
+		var ref *Solution
+		for _, name := range Names() {
+			// Tests run before fuzz seed corpora and may leave throwaway
+			// "test-…" registrations behind (the registry has no
+			// unregister; see TestRegistryConcurrentLookupDuringRegister)
+			// — skip them so each input exercises the real solvers.
+			if strings.HasPrefix(name, "test-") {
+				continue
+			}
+			s, err := Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol := solve(name, s, p)
 			if sol.Status == IterLimit {
 				return // bounded work budget exceeded; skip comparisons
 			}
-			if sol.Status == Optimal {
-				if err := CheckFeasible(p, sol.X, 1e-5); err != nil {
-					t.Fatalf("%s: optimal but infeasible: %v", s.Name(), err)
-				}
-			}
-			status = append(status, sol.Status)
-			objs = append(objs, sol.Objective)
-		}
-		for i := 1; i < len(status); i++ {
-			if status[i] != status[0] {
-				t.Fatalf("status disagreement: %v", status)
+			if ref == nil {
+				ref = sol
+			} else {
+				agree(name, sol, ref)
 			}
 		}
-		if status[0] == Optimal {
-			for i := 1; i < len(objs); i++ {
-				if math.Abs(objs[i]-objs[0]) > 1e-5*(1+math.Abs(objs[0])) {
-					t.Fatalf("objective disagreement: %v", objs)
-				}
+
+		// Warm-start round trip: one dual-warm session solves p (cold,
+		// populating its basis cache) and then a same-structure
+		// perturbation of p (resuming from the retained basis). The warm
+		// result must agree with a cold solve of the perturbed problem.
+		dw, err := Lookup("dual-warm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ses, ok := Session(dw).(*DualWarm)
+		if !ok {
+			t.Fatalf("dual-warm session is %T, want *DualWarm", Session(dw))
+		}
+		p2 := perturbLP(p, data, false) // new RHS and bounds, same costs
+		p3 := perturbLP(p, data, true)  // new costs too
+		first := solve("dual-warm/session-first", ses, p)
+		warm := solve("dual-warm/session-warm", ses, p2)
+		cold := solve("dual-warm/fresh-cold", Session(dw), p2)
+		refP2 := solve("bounded/perturbed", Bounded{MaxIter: 20000}, p2)
+		if first.Status == IterLimit || warm.Status == IterLimit ||
+			cold.Status == IterLimit || refP2.Status == IterLimit {
+			return
+		}
+		agree("dual-warm/session-warm vs cold", warm, cold)
+		agree("dual-warm/session-warm vs bounded", warm, refP2)
+		if first.Status == Optimal {
+			// Unchanged costs keep the retained basis dual feasible, so the
+			// second solve must have resumed from it rather than re-solving
+			// cold — this is the pipeline's successive-balance-stage shape.
+			if warmCount, _ := ses.Counts(); warmCount != 1 {
+				t.Fatalf("session did not warm-start: warm count %d", warmCount)
 			}
+		}
+		// A cost perturbation may legitimately defeat the warm start (the
+		// solver falls back to cold when bound flips cannot repair dual
+		// feasibility), but the answer must still agree with a cold solver.
+		costWarm := solve("dual-warm/session-cost-perturbed", ses, p3)
+		refP3 := solve("bounded/cost-perturbed", Bounded{MaxIter: 20000}, p3)
+		if costWarm.Status != IterLimit && refP3.Status != IterLimit {
+			agree("dual-warm/session-cost-perturbed vs bounded", costWarm, refP3)
 		}
 	})
+}
+
+// perturbLP derives a same-structure problem — identical constraint
+// matrix, different RHS and bound values (plus, when costs is set,
+// different objective coefficients) — deterministically from the fuzz
+// input. With costs false it reproduces the exact shape of the
+// pipeline's successive balance stages, where warm starting is
+// guaranteed to apply.
+func perturbLP(p *Problem, data []byte, costs bool) *Problem {
+	seed := uint64(len(data)) + 0x9e3779b9
+	for _, b := range data {
+		seed = seed*131 + uint64(b)
+	}
+	next := func() uint64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return seed
+	}
+	q := &Problem{
+		Sense: p.Sense,
+		Obj:   append([]float64(nil), p.Obj...),
+		Upper: append([]float64(nil), p.Upper...),
+		Cons:  append([]Constraint(nil), p.Cons...),
+	}
+	if costs {
+		for v := range q.Obj {
+			q.Obj[v] = float64(int(next()%11) - 5)
+		}
+	}
+	for v := range q.Upper {
+		q.Upper[v] = float64(next() % 9) // finite, like decodeLP's bounds
+	}
+	for i := range q.Cons {
+		q.Cons[i].RHS = float64(int(next()%13) - 4)
+	}
+	return q
 }
 
 // decodeLP deterministically builds a small LP from fuzz bytes, or nil if

@@ -7,7 +7,11 @@ import (
 	"testing"
 )
 
-var allSolvers = []Solver{Dense{}, Bounded{}, Revised{}}
+// allSolvers holds one instance of every simplex implementation. The
+// shared DualWarm deliberately persists across trials so repeated
+// same-structure problems exercise its warm path against the same
+// oracles as the cold solvers.
+var allSolvers = []Solver{Dense{}, Bounded{}, Revised{}, NewDualWarm()}
 
 func solveAll(t *testing.T, p *Problem) []*Solution {
 	t.Helper()

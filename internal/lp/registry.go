@@ -22,6 +22,30 @@ func init() {
 	MustRegister("dense", Dense{})
 	MustRegister("bounded", Bounded{})
 	MustRegister("revised", Revised{})
+	MustRegister("dual-warm", NewDualWarm())
+}
+
+// SessionSolver is implemented by stateful solvers whose state should
+// be scoped to one solve stream — e.g. [DualWarm], whose basis cache is
+// only useful (and only contention-free) when it serves a single
+// sequence of related problems. NewSession returns a fresh instance
+// with the same configuration and empty state.
+type SessionSolver interface {
+	Solver
+	// NewSession forks a private instance for one solve stream.
+	NewSession() Solver
+}
+
+// Session returns a private instance of s for one solve stream: the
+// fork from NewSession when s is a [SessionSolver], otherwise s itself
+// (stateless solvers need no scoping). The engine calls this at
+// construction so a registered warm-started solver's basis lifetime is
+// tied to the engine session rather than shared process-globally.
+func Session(s Solver) Solver {
+	if ss, ok := s.(SessionSolver); ok {
+		return ss.NewSession()
+	}
+	return s
 }
 
 // Register adds a named solver. Empty names and duplicates are rejected

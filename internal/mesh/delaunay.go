@@ -75,8 +75,15 @@ func (m *Mesh) Insert(p geom.Point) (int, error) {
 		return 0, err
 	}
 	// Grow the cavity: all triangles whose circumcircle contains p,
-	// flood-filled from the containing triangle.
+	// flood-filled from the containing triangle. badList records the
+	// (deterministic) flood-fill discovery order; every later step
+	// iterates it rather than the membership map, so triangle slot
+	// allocation — and with it the adjacency order of the exported
+	// graph — is a pure function of the inserted points. (Ranging over
+	// the map here made "deterministic in seed" mesh generation
+	// silently depend on Go's per-process map ordering.)
 	bad := map[int32]bool{start: true}
+	badList := []int32{start}
 	stack := []int32{start}
 	for len(stack) > 0 {
 		t := stack[len(stack)-1]
@@ -88,6 +95,7 @@ func (m *Mesh) Insert(p geom.Point) (int, error) {
 			tv := m.tris[nb].v
 			if geom.InCircumcircle(m.pts[tv[0]], m.pts[tv[1]], m.pts[tv[2]], p) {
 				bad[nb] = true
+				badList = append(badList, nb)
 				stack = append(stack, nb)
 			}
 		}
@@ -100,7 +108,7 @@ func (m *Mesh) Insert(p geom.Point) (int, error) {
 		ext  int32
 	}
 	var boundary []bEdge
-	for t := range bad {
+	for _, t := range badList {
 		tv := m.tris[t].v
 		ta := m.tris[t].adj
 		for i := 0; i < 3; i++ {
@@ -123,8 +131,9 @@ func (m *Mesh) Insert(p geom.Point) (int, error) {
 
 	vi := int32(len(m.pts))
 	m.pts = append(m.pts, p)
-	// Remove bad triangles, remembering their slots for reuse.
-	for t := range bad {
+	// Remove bad triangles, remembering their slots for reuse (in
+	// discovery order, keeping slot recycling deterministic).
+	for _, t := range badList {
 		m.tris[t].alive = false
 		m.freed = append(m.freed, t)
 	}
@@ -289,7 +298,11 @@ func (m *Mesh) UpdateGraph(g *graph.Graph) error {
 	for g.Order() < m.NumVertices() {
 		g.AddVertex(1)
 	}
+	// wantList keeps the triangle-scan discovery order so the edges
+	// added below land in a deterministic adjacency order (ranging over
+	// the map made refined graphs differ run to run).
 	want := make(map[[2]int32]bool)
+	var wantList [][2]int32
 	for i := range m.tris {
 		if !m.tris[i].alive {
 			continue
@@ -304,7 +317,10 @@ func (m *Mesh) UpdateGraph(g *graph.Graph) error {
 			if gu > gw {
 				gu, gw = gw, gu
 			}
-			want[[2]int32{gu, gw}] = true
+			if !want[[2]int32{gu, gw}] {
+				want[[2]int32{gu, gw}] = true
+				wantList = append(wantList, [2]int32{gu, gw})
+			}
 		}
 	}
 	// Remove stale edges.
@@ -320,7 +336,7 @@ func (m *Mesh) UpdateGraph(g *graph.Graph) error {
 	// Add missing edges. A failed insert that is not a duplicate means the
 	// graph has drifted from the mesh (e.g. a caller removed a vertex the
 	// mesh still triangulates) — surface that instead of dropping edges.
-	for e := range want {
+	for _, e := range wantList {
 		if !g.AddEdgeIfAbsent(e[0], e[1], 1) && !g.HasEdge(e[0], e[1]) {
 			return fmt.Errorf("mesh: update graph: cannot add edge {%d,%d}", e[0], e[1])
 		}

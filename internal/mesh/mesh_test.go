@@ -2,9 +2,11 @@ package mesh
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/geom"
+	"repro/internal/graph"
 )
 
 func TestDelaunaySquare(t *testing.T) {
@@ -195,5 +197,38 @@ func TestSequencePointsCoverVertices(t *testing.T) {
 	}
 	if len(seq.Points) != 212 {
 		t.Fatalf("points = %d, want 212", len(seq.Points))
+	}
+}
+
+// TestGenerationDeterministicInSeed: the documented contract is that
+// mesh generation is a pure function of the seed. This regression test
+// pins the fix for the cavity/update map-iteration leak: generating the
+// same seeded sequence twice (in one process) must produce
+// byte-identical graphs at every step.
+func TestGenerationDeterministicInSeed(t *testing.T) {
+	encode := func(g *graph.Graph) string {
+		var b strings.Builder
+		if err := graph.Write(&b, g); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	for _, seed := range []int64{1, 7, 1994} {
+		a, err := PaperSequenceA(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := PaperSequenceA(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if encode(a.Base) != encode(b.Base) {
+			t.Fatalf("seed %d: base mesh differs between generations", seed)
+		}
+		for i := range a.Steps {
+			if encode(a.Steps[i].Graph) != encode(b.Steps[i].Graph) {
+				t.Fatalf("seed %d: step %d graph differs between generations", seed, i)
+			}
+		}
 	}
 }

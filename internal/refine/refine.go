@@ -251,36 +251,79 @@ func (s *Scratch) finish() {
 	s.sorter.cs = nil
 }
 
-// Formulate builds the refinement LP over pairs with b(i,j) > 0.
-func Formulate(c *Candidates) (*lp.Problem, [][2]int32) {
-	var pairs [][2]int32
+// LPArena owns the reusable buffers of the refinement-LP formulation:
+// the Problem's objective/bound/constraint storage and the pair
+// mapping. Buffers grow to the largest round seen and are then reused,
+// so steady-state formulation through a warm engine allocates nothing.
+// The Problem and pair slice returned by Formulate are owned by the
+// arena and invalidated by its next call. The zero value is ready.
+type LPArena struct {
+	prob  lp.Problem
+	pairs [][2]int32
+	terms []lp.Term
+	spans []int // (start, end) offsets into terms, two per constraint
+	cons  []lp.Constraint
+}
+
+// Formulate is the arena-backed form of the package-level [Formulate]:
+// the identical LP, built into reused buffers and without diagnostic
+// variable names.
+func (ar *LPArena) Formulate(c *Candidates) (*lp.Problem, [][2]int32) {
+	ar.pairs = ar.pairs[:0]
 	for i := 0; i < c.P; i++ {
 		for j := 0; j < c.P; j++ {
 			if i != j && c.B[i][j] > 0 {
-				pairs = append(pairs, [2]int32{int32(i), int32(j)})
+				ar.pairs = append(ar.pairs, [2]int32{int32(i), int32(j)})
 			}
 		}
 	}
-	prob := lp.NewProblem(lp.Maximize, len(pairs))
-	prob.Names = make([]string, len(pairs))
+	pairs := ar.pairs
+	n := len(pairs)
+	prob := &ar.prob
+	prob.Sense = lp.Maximize
+	prob.Names = nil
+	prob.Obj = lp.GrowFloats(prob.Obj, n)
+	prob.Upper = lp.GrowFloats(prob.Upper, n)
 	for v, pr := range pairs {
-		prob.SetObjective(v, 1)
-		prob.SetUpper(v, float64(c.B[pr[0]][pr[1]]))
-		prob.Names[v] = fmt.Sprintf("l(%d,%d)", pr[0], pr[1])
+		prob.Obj[v] = 1
+		prob.Upper[v] = float64(c.B[pr[0]][pr[1]])
 	}
+	// Terms are appended into one flat buffer and the rows bound after
+	// the loop, so buffer growth cannot strand a row on old backing.
+	ar.terms = ar.terms[:0]
+	ar.cons = ar.cons[:0]
+	ar.spans = ar.spans[:0]
 	for j := 0; j < c.P; j++ {
-		var terms []lp.Term
+		start := len(ar.terms)
 		for v, pr := range pairs {
 			if int(pr[0]) == j {
-				terms = append(terms, lp.Term{Var: v, Coef: 1})
+				ar.terms = append(ar.terms, lp.Term{Var: v, Coef: 1})
 			}
 			if int(pr[1]) == j {
-				terms = append(terms, lp.Term{Var: v, Coef: -1})
+				ar.terms = append(ar.terms, lp.Term{Var: v, Coef: -1})
 			}
 		}
-		if len(terms) > 0 {
-			prob.AddConstraint(terms, lp.EQ, 0)
+		if len(ar.terms) > start {
+			ar.cons = append(ar.cons, lp.Constraint{Rel: lp.EQ, RHS: 0})
+			ar.spans = append(ar.spans, start, len(ar.terms))
 		}
+	}
+	for k := range ar.cons {
+		ar.cons[k].Terms = ar.terms[ar.spans[2*k]:ar.spans[2*k+1]]
+	}
+	prob.Cons = ar.cons
+	return prob, pairs
+}
+
+// Formulate builds the refinement LP over pairs with b(i,j) > 0. This
+// one-shot form allocates a fresh formulation with diagnostic variable
+// names; the engine formulates through a reused [LPArena] instead.
+func Formulate(c *Candidates) (*lp.Problem, [][2]int32) {
+	var ar LPArena
+	prob, pairs := ar.Formulate(c)
+	prob.Names = make([]string, len(pairs))
+	for v, pr := range pairs {
+		prob.Names[v] = fmt.Sprintf("l(%d,%d)", pr[0], pr[1])
 	}
 	return prob, pairs
 }
@@ -327,6 +370,10 @@ type Options struct {
 	// 1-based round number and the vertices moved — the observability hook
 	// the engine turns into stage events.
 	OnRound func(round, moved int)
+	// Arena, if non-nil, receives the per-round LP formulations (reused
+	// buffers, zero steady-state allocation). The engine passes its own;
+	// one-shot callers leave it nil and get fresh formulations.
+	Arena *LPArena
 }
 
 // Rounds returns MaxRounds with the default applied.
@@ -362,6 +409,11 @@ type Stats struct {
 	LPVars     int // columns of the largest round's dense formulation
 	LPCons     int
 	Iterations int // total simplex pivots
+	// RoundPivots lists the pivots of every LP solved, in round order
+	// (including a final round whose solution was not applied). With a
+	// warm-started solver, later rounds resume from earlier bases and
+	// these counts drop off sharply after round one.
+	RoundPivots []int
 }
 
 // Refine iteratively improves the cut of assignment a without changing
@@ -403,7 +455,13 @@ func Drive(ctx context.Context, g *graph.Graph, a *partition.Assignment, opt Opt
 			abort = err
 			break
 		}
-		prob, pairs := Formulate(cands)
+		var prob *lp.Problem
+		var pairs [][2]int32
+		if opt.Arena != nil {
+			prob, pairs = opt.Arena.Formulate(cands)
+		} else {
+			prob, pairs = Formulate(cands)
+		}
 		if len(pairs) == 0 {
 			break
 		}
@@ -416,6 +474,7 @@ func Drive(ctx context.Context, g *graph.Graph, a *partition.Assignment, opt Opt
 			break
 		}
 		st.Iterations += sol.Iterations
+		st.RoundPivots = append(st.RoundPivots, sol.Iterations)
 		if sol.Status != lp.Optimal || sol.Objective < 0.5 {
 			break
 		}

@@ -2,6 +2,7 @@ package refine
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -227,4 +228,51 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestLPArenaFormulateMatchesOneShot: the arena-backed refinement LP
+// must match the one-shot formulation exactly (modulo names), across
+// reuse with both candidate-test modes.
+func TestLPArenaFormulateMatchesOneShot(t *testing.T) {
+	g, a := jaggedStripes()
+	var ar LPArena
+	for _, strict := range []bool{false, true, false} {
+		c, err := Gains(g, a, strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantProb, wantPairs := Formulate(c)
+		gotProb, gotPairs := ar.Formulate(c)
+		if !reflect.DeepEqual(gotPairs, wantPairs) {
+			t.Fatalf("strict=%v: pairs diverge", strict)
+		}
+		if !lp.SameStructure(gotProb, wantProb) {
+			t.Fatalf("strict=%v: problem structure diverges", strict)
+		}
+		if !reflect.DeepEqual(gotProb.Obj, wantProb.Obj) ||
+			!reflect.DeepEqual(gotProb.Upper, wantProb.Upper) {
+			t.Fatalf("strict=%v: objective/bounds diverge", strict)
+		}
+		if err := gotProb.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLPArenaSteadyStateAllocs: reusing a warm arena for the same
+// candidate shape must not allocate.
+func TestLPArenaSteadyStateAllocs(t *testing.T) {
+	g, a := jaggedStripes()
+	c, err := Gains(g, a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ar LPArena
+	ar.Formulate(c)
+	allocs := testing.AllocsPerRun(20, func() {
+		ar.Formulate(c)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state arena formulation allocates %.1f objects/op, want 0", allocs)
+	}
 }

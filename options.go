@@ -100,8 +100,20 @@ func WithRefineRounds(n int) Option {
 }
 
 // WithSolver selects the simplex implementation by registry name:
-// "bounded" (the default), "dense", "revised", or anything added via
-// [RegisterSolver]. Unknown names fail at NewEngine/Repartition time.
+// "bounded" (the default), "dense", "revised", "dual-warm", or anything
+// added via [RegisterSolver]. Unknown names fail at
+// NewEngine/Repartition time.
+//
+// "dual-warm" is the warm-started dual simplex: it retains the optimal
+// basis of each LP structure it solves and resumes from it when a later
+// balance stage or refinement round differs only in RHS and bounds,
+// cutting Stats.LPIterations on repeated stages well below the cold
+// solvers. Basis lifetime is the engine session: [NewEngine] forks a
+// private solver instance whose cache dies with the engine (a one-shot
+// [Repartition] therefore warms only across the stages within that one
+// call). A retained basis is keyed and verified by exact LP structure,
+// so graph edits between calls are safe — a changed pair structure
+// simply misses the cache and solves cold.
 func WithSolver(name string) Option {
 	return func(c *config) error {
 		s, err := lp.Lookup(name)

@@ -44,14 +44,26 @@ echo "== phase timings (igpbench -table phases) =="
 phases="$(go run ./cmd/igpbench -table phases)"
 echo "$phases"
 
+# Per-solver phase/pivot rows: the same workload under every built-in
+# simplex, so the trajectory records warm ("dual-warm") vs cold pivot
+# counts side by side. The bounded row reuses the record measured above.
+echo "== per-solver phase timings =="
+solver_rows="$phases"
+for s in dense revised dual-warm; do
+    row="$(go run ./cmd/igpbench -table phases -solver "$s")"
+    echo "$row"
+    solver_rows="$solver_rows,
+    $row"
+done
+
 echo "== benchmarks ($filter) =="
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" . | tee "$raw"
 
 # Parse `BenchmarkName  N  X ns/op  Y B/op  Z allocs/op` lines into JSON,
-# folding in the per-phase timing record.
-awk -v idx="$idx" -v phases="$phases" '
+# folding in the per-phase timing record and the per-solver rows.
+awk -v idx="$idx" -v phases="$phases" -v solvers="$solver_rows" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -66,7 +78,7 @@ BEGIN { n = 0 }
                         name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs))
 }
 END {
-    printf "{\n  \"trajectory\": %s,\n  \"phase_timings\": %s,\n  \"benchmarks\": [\n", idx, phases
+    printf "{\n  \"trajectory\": %s,\n  \"phase_timings\": %s,\n  \"phase_timings_by_solver\": [\n    %s\n  ],\n  \"benchmarks\": [\n", idx, phases, solvers
     for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n-1 ? "," : "")
     printf "  ]\n}\n"
 }' "$raw" > "$out"

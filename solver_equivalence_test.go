@@ -1,0 +1,216 @@
+package igp
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// equivalenceConfigs are seeded workloads on which the balance and
+// refinement LPs have unique optima, so every correct solver must
+// produce bit-identical end-to-end results. (At larger P the flow LPs
+// develop alternate optima and different — equally optimal — solvers
+// may legitimately move different vertices; those configurations are
+// covered by the invariant test below instead.) The list was verified
+// against all four built-ins and is deterministic: mesh generation
+// (whose cavity construction once leaked map iteration order — see
+// mesh.TestGenerationDeterministicInSeed), RSB and every solver are
+// seed-stable.
+var equivalenceConfigs = []struct {
+	p    int
+	seed int64
+}{
+	{3, 1}, {3, 2}, {3, 3},
+	{4, 1}, {4, 3}, {4, 7},
+	{5, 6},
+	{6, 6},
+}
+
+// TestSolverEquivalenceEndToEnd runs the full four-phase pipeline under
+// every registered solver on seeded meshes and asserts identical
+// assignments and cuts — the engine-level counterpart of the lp-level
+// agreement fuzz, locking in that a solver swap (including the
+// warm-started "dual-warm") cannot change pipeline results where the
+// LP solutions are unique.
+func TestSolverEquivalenceEndToEnd(t *testing.T) {
+	for _, cfg := range equivalenceConfigs {
+		seq, err := PaperMeshA(cfg.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := PartitionRSB(seq.Base, cfg.p, cfg.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := seq.Steps[0].Graph
+		var refName string
+		var refPart []int32
+		var refCut CutStats
+		for _, name := range SolverNames() {
+			a := base.Clone()
+			if _, err := Repartition(context.Background(), g, a,
+				WithRefine(), WithSolver(name)); err != nil {
+				t.Fatalf("P=%d seed=%d %s: %v", cfg.p, cfg.seed, name, err)
+			}
+			cut := Cut(g, a)
+			if refPart == nil {
+				refName, refPart, refCut = name, append([]int32(nil), a.Part...), cut
+				continue
+			}
+			if !reflect.DeepEqual(cut, refCut) {
+				t.Errorf("P=%d seed=%d: %s cut %+v != %s cut %+v",
+					cfg.p, cfg.seed, name, cut, refName, refCut)
+			}
+			if !reflect.DeepEqual(refPart, a.Part) {
+				t.Errorf("P=%d seed=%d: %s assignment diverges from %s",
+					cfg.p, cfg.seed, name, refName)
+			}
+		}
+	}
+}
+
+// TestSolverEquivalenceInvariants covers the configurations where
+// alternate LP optima allow solvers to move different vertices: every
+// registered solver must still deliver the same *contract* — exact
+// balance, a refined cut no worse than the pre-balance cut, and a valid
+// assignment — on the paper's P=32 workload.
+func TestSolverEquivalenceInvariants(t *testing.T) {
+	for _, seed := range []int64{1994, 7, 42} {
+		seq, err := PaperMeshA(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := PartitionRSB(seq.Base, 32, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := seq.Steps[0].Graph
+		for _, name := range SolverNames() {
+			a := base.Clone()
+			st, err := Repartition(context.Background(), g, a,
+				WithRefine(), WithSolver(name))
+			if err != nil {
+				t.Fatalf("seed=%d %s: %v", seed, name, err)
+			}
+			if err := a.Validate(g); err != nil {
+				t.Fatalf("seed=%d %s: %v", seed, name, err)
+			}
+			targets := partition.Targets(g.NumVertices(), a.P)
+			for j, size := range a.Sizes(g) {
+				if size != targets[j] {
+					t.Fatalf("seed=%d %s: partition %d has %d vertices, want %d",
+						seed, name, j, size, targets[j])
+				}
+			}
+			if st.CutAfter.TotalWeight > st.CutBefore.TotalWeight {
+				t.Fatalf("seed=%d %s: refinement worsened the cut: %g > %g",
+					seed, name, st.CutAfter.TotalWeight, st.CutBefore.TotalWeight)
+			}
+		}
+	}
+}
+
+// TestDualWarmEnginePersistenceIsPerformanceOnly: a long-lived engine
+// with the warm-started solver (bases persisting across Repartition
+// calls) must produce exactly the assignments of one-shot calls (fresh
+// engine, fresh basis cache, every call) over a whole perturbation
+// sequence — warm-start resumption across calls is purely a
+// performance property.
+func TestDualWarmEnginePersistenceIsPerformanceOnly(t *testing.T) {
+	for _, seed := range []int64{1994, 7, 42} {
+		seq, err := PaperMeshA(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := PartitionRSB(seq.Base, 8, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := seq.Steps[0].Graph
+		aWarm := base.Clone()
+		aCold := base.Clone()
+		eng, err := NewEngine(g, WithRefine(), WithSolver("dual-warm"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for call := 0; call < 5; call++ {
+			perturbAssignment(aWarm, 25)
+			perturbAssignment(aCold, 25)
+			_, errW := eng.Repartition(context.Background(), aWarm)
+			_, errC := Repartition(context.Background(), g, aCold,
+				WithRefine(), WithSolver("dual-warm"))
+			if (errW == nil) != (errC == nil) {
+				t.Fatalf("seed=%d call %d: error mismatch: %v vs %v", seed, call, errW, errC)
+			}
+			if errW != nil {
+				t.Skipf("seed=%d call %d: infeasible on this sequence: %v", seed, call, errW)
+			}
+			if !reflect.DeepEqual(aWarm.Part, aCold.Part) {
+				t.Fatalf("seed=%d call %d: persistent warm engine diverges from one-shot", seed, call)
+			}
+		}
+	}
+}
+
+// TestDualWarmPivotRegressionGuard is the engine-level pivot guard: on
+// a static mesh, repeatedly perturbing the assignment the same way and
+// repartitioning through one warm engine must make later balance-stage
+// solves strictly cheaper than the first (cold) one, and cut the
+// call-total LP iteration count — the warm-start latency win the
+// BENCH trajectory records.
+func TestDualWarmPivotRegressionGuard(t *testing.T) {
+	seq, err := PaperMeshA(1994)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := PartitionRSB(seq.Base, 8, 1994)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := seq.Steps[0].Graph
+	a := base.Clone()
+	eng, err := NewEngine(g, WithRefine(), WithSolver("dual-warm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstStage, firstTotal int
+	for call := 0; call < 5; call++ {
+		perturbAssignment(a, 25)
+		st, err := eng.Repartition(context.Background(), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.StagePivots) == 0 {
+			t.Fatal("no balance stage ran; the perturbation is too small")
+		}
+		if call == 0 {
+			firstStage, firstTotal = st.StagePivots[0], st.LPIterations
+			if firstStage == 0 {
+				t.Fatal("cold stage-1 solve took 0 pivots; guard would be vacuous")
+			}
+			continue
+		}
+		if st.StagePivots[0] >= firstStage {
+			t.Fatalf("call %d: warm balance stage took %d pivots, cold stage-1 took %d — warm must be strictly cheaper",
+				call, st.StagePivots[0], firstStage)
+		}
+		if call == 4 && st.LPIterations >= firstTotal {
+			t.Fatalf("call %d: warm call total %d LP iterations, cold first call %d",
+				call, st.LPIterations, firstTotal)
+		}
+	}
+}
+
+// perturbAssignment deterministically unbalances a: the first n
+// vertices currently in partition 0 move to partition 1.
+func perturbAssignment(a *Assignment, n int) {
+	moved := 0
+	for v := range a.Part {
+		if a.Part[v] == 0 && moved < n {
+			a.Part[v] = 1
+			moved++
+		}
+	}
+}

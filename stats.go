@@ -45,6 +45,14 @@ type Stats struct {
 	// LPIterations is the total simplex pivots across every balance stage
 	// and refinement round.
 	LPIterations int
+	// StagePivots lists the simplex pivots of each balance stage in
+	// stage order, and RoundPivots those of each refinement LP round.
+	// With the warm-started "dual-warm" solver, entries after the first
+	// drop sharply (later solves resume from a retained basis); with the
+	// cold solvers every entry pays a full pivot path. They are the
+	// per-solve decomposition of LPIterations.
+	StagePivots []int
+	RoundPivots []int
 	// CutBefore and CutAfter report cutset quality around balancing and
 	// refinement.
 	CutBefore, CutAfter CutStats
@@ -60,13 +68,21 @@ type Stats struct {
 // [Engine] allocates nothing.
 func convertStatsInto(dst *Stats, st *core.Stats) {
 	eps := dst.EpsilonUsed[:0]
+	pivots := dst.StagePivots[:0]
 	for _, sg := range st.Stages {
 		eps = append(eps, sg.Epsilon)
+		pivots = append(pivots, sg.LPPivots)
+	}
+	rounds := dst.RoundPivots[:0]
+	if st.Refine != nil {
+		rounds = append(rounds, st.Refine.RoundPivots...)
 	}
 	*dst = Stats{
 		NewAssigned:  st.NewAssigned,
 		Stages:       len(st.Stages),
 		EpsilonUsed:  eps,
+		StagePivots:  pivots,
+		RoundPivots:  rounds,
 		BalanceMoved: st.BalanceMoved,
 		LPIterations: st.LPIterations,
 		CutBefore:    st.CutBefore,
