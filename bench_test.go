@@ -14,6 +14,7 @@ package igp
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -403,6 +404,80 @@ func BenchmarkPhase_GainsOneShot(b *testing.B) {
 		if _, err := refine.Gains(g, a, false); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Sharded multi-core kernels ------------------------------------------------
+//
+// BenchmarkPhase_LayerPar / BenchmarkPhase_GainsPar measure the
+// steady-state sharded kernels at several worker counts on the mesh-A
+// workload (procs=1 is the exact sequential path, the baseline for the
+// wall-clock speedup the BENCH trajectory records). The *ParB variants
+// run the 10k-vertex mesh B, where per-region fork-join overhead
+// amortizes over ~10× the vertex work. Note that the speedup rows are
+// only meaningful on a multi-core host: on a single-CPU machine the
+// workers time-slice one core and procs>1 can only add overhead.
+
+var benchProcs = []int{1, 2, 4, 8}
+
+func benchEngineLayerProcs(b *testing.B, g *graph.Graph, base *partition.Assignment, procs int) {
+	b.Helper()
+	a := base.Clone()
+	if _, _, err := core.Assign(g, a); err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(g, engine.Options{Parallelism: procs})
+	if _, err := eng.Layer(context.Background(), a); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Layer(context.Background(), a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEngineGainsProcs(b *testing.B, g *graph.Graph, a *partition.Assignment, procs int) {
+	b.Helper()
+	eng := engine.New(g, engine.Options{Parallelism: procs})
+	if _, err := eng.Gains(a, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Gains(a, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPhase_LayerPar(b *testing.B) {
+	f := meshA(b)
+	for _, procs := range benchProcs {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			benchEngineLayerProcs(b, f.seq.Steps[0].Graph, f.base, procs)
+		})
+	}
+}
+
+func BenchmarkPhase_GainsPar(b *testing.B) {
+	g, a := unrefined(b)
+	for _, procs := range benchProcs {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			benchEngineGainsProcs(b, g, a, procs)
+		})
+	}
+}
+
+func BenchmarkPhase_LayerParB(b *testing.B) {
+	f := meshB(b)
+	for _, procs := range []int{1, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			benchEngineLayerProcs(b, f.seq.Steps[0].Graph, f.base, procs)
+		})
 	}
 }
 

@@ -35,6 +35,7 @@ func main() {
 	p := flag.Int("p", 32, "number of partitions")
 	ranks := flag.Int("ranks", 32, "simulated machine size")
 	solver := flag.String("solver", "bounded", "sequential simplex: "+strings.Join(igp.SolverNames(), "|"))
+	procs := flag.Int("procs", 0, "worker count for the engine's sharded kernels (0 = GOMAXPROCS, 1 = sequential)")
 	skipSim := flag.Bool("skipsim", false, "skip simulated parallel runs (no Time-p/Speedup)")
 	flag.Parse()
 
@@ -45,7 +46,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "igpbench: %v\n", err)
 		os.Exit(2)
 	}
-	cfg := bench.Config{Seed: *seed, P: *p, Ranks: *ranks, Solver: s, SkipSim: *skipSim}
+	if *procs < 0 {
+		fmt.Fprintf(os.Stderr, "igpbench: -procs %d: worker count must be ≥ 0 (0 = GOMAXPROCS)\n", *procs)
+		os.Exit(2)
+	}
+	cfg := bench.Config{Seed: *seed, P: *p, Ranks: *ranks, Solver: s, Parallelism: *procs, SkipSim: *skipSim}
 
 	run := func(name string) bool { return *table == name || *table == "all" }
 	ok := false
@@ -53,7 +58,7 @@ func main() {
 		ok = true
 		// Machine-readable per-phase timings for the bench.sh trajectory:
 		// one JSON object, mesh A first refinement under IGPR.
-		exitOn(printPhases(*seed, *p, *solver))
+		exitOn(printPhases(*seed, *p, *solver, *procs))
 		if *table == "phases" {
 			return
 		}
@@ -133,8 +138,11 @@ func exitOn(err error) {
 
 // printPhases repartitions mesh A's first refinement with IGPR through
 // the public API and emits Stats.PhaseTimings as one JSON object, the
-// record scripts/bench.sh folds into BENCH_<n>.json.
-func printPhases(seed int64, p int, solver string) error {
+// record scripts/bench.sh folds into BENCH_<n>.json. procs selects the
+// sharded-kernel worker count (0 = GOMAXPROCS); the reported "procs" is
+// the resolved Stats.Parallelism and "worker_busy_ns" its per-worker
+// roll-up.
+func printPhases(seed int64, p int, solver string, procs int) error {
 	seq, err := mesh.PaperSequenceA(seed)
 	if err != nil {
 		return err
@@ -144,17 +152,26 @@ func printPhases(seed int64, p int, solver string) error {
 		return err
 	}
 	g := seq.Steps[0].Graph
-	st, err := igp.Repartition(context.Background(), g, a,
-		igp.WithRefine(), igp.WithSolver(solver))
+	opts := []igp.Option{igp.WithRefine(), igp.WithSolver(solver)}
+	if procs > 0 {
+		opts = append(opts, igp.WithParallelism(procs))
+	}
+	st, err := igp.Repartition(context.Background(), g, a, opts...)
 	if err != nil {
 		return err
 	}
 	pt := st.PhaseTimings
-	fmt.Printf(`{"workload": "meshA-step1-igpr", "p": %d, "solver": %q, `+
+	busy := make([]string, len(st.WorkerBusy))
+	for i, d := range st.WorkerBusy {
+		busy[i] = fmt.Sprintf("%d", d.Nanoseconds())
+	}
+	fmt.Printf(`{"workload": "meshA-step1-igpr", "p": %d, "solver": %q, "procs": %d, `+
 		`"assign_ns": %d, "layer_ns": %d, "balance_ns": %d, "refine_ns": %d, `+
-		`"elapsed_ns": %d, "stages": %d, "lp_iterations": %d, "moved": %d}`+"\n",
-		p, solver, pt.Assign.Nanoseconds(), pt.Layer.Nanoseconds(),
+		`"elapsed_ns": %d, "stages": %d, "lp_iterations": %d, "moved": %d, `+
+		`"worker_busy_ns": [%s]}`+"\n",
+		p, solver, st.Parallelism, pt.Assign.Nanoseconds(), pt.Layer.Nanoseconds(),
 		pt.Balance.Nanoseconds(), pt.Refine.Nanoseconds(), st.Elapsed.Nanoseconds(),
-		st.Stages, st.LPIterations, st.BalanceMoved+st.RefineMoved)
+		st.Stages, st.LPIterations, st.BalanceMoved+st.RefineMoved,
+		strings.Join(busy, ", "))
 	return nil
 }

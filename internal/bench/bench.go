@@ -43,6 +43,10 @@ type Config struct {
 	// Solver is the sequential simplex used by IGP/IGPR (nil = bounded;
 	// the paper's own is lp.Dense).
 	Solver lp.Solver
+	// Parallelism is the worker count for the engine's sharded kernels
+	// (0 = GOMAXPROCS, 1 = the sequential path). Results are
+	// bit-identical for every value; only Time-s changes.
+	Parallelism int
 	// SkipSim disables the simulated parallel runs (faster; Time-p and
 	// Speedup columns become zero).
 	SkipSim bool
@@ -112,8 +116,9 @@ func runIGP(g *graph.Graph, prev *partition.Assignment, cfg Config, withRefine b
 	a := prev.Clone()
 	t0 := time.Now()
 	st, err := core.Repartition(context.Background(), g, a, core.Options{
-		Solver: cfg.Solver,
-		Refine: withRefine,
+		Solver:      cfg.Solver,
+		Refine:      withRefine,
+		Parallelism: cfg.Parallelism,
 	})
 	dur := time.Since(t0)
 	if err != nil {
@@ -340,7 +345,7 @@ func LPSizeTable(sizes []int, cfg Config) ([]LPSizeRow, error) {
 		}
 		a := &partition.Assignment{Part: basePart, P: cfg.P}
 		g := seq.Steps[0].Graph
-		st, err := core.Repartition(context.Background(), g, a, core.Options{Solver: cfg.Solver})
+		st, err := core.Repartition(context.Background(), g, a, core.Options{Solver: cfg.Solver, Parallelism: cfg.Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -467,7 +472,7 @@ func SolverComparison(seq *mesh.Sequence, cfg Config, names []string) ([]SolverR
 		}
 		a := baseA.Clone()
 		t0 := time.Now()
-		st, err := core.Repartition(context.Background(), g, a, core.Options{Solver: s, Refine: true})
+		st, err := core.Repartition(context.Background(), g, a, core.Options{Solver: s, Refine: true, Parallelism: cfg.Parallelism})
 		dur := time.Since(t0)
 		if err != nil {
 			return nil, fmt.Errorf("bench: solver %s: %w", name, err)
@@ -525,13 +530,13 @@ func RefineComparison(seq *mesh.Sequence, cfg Config) (*RefineQuality, error) {
 
 	out := &RefineQuality{}
 	aIGP := baseA.Clone()
-	if _, err := core.Repartition(context.Background(), g, aIGP, core.Options{Solver: cfg.Solver}); err != nil {
+	if _, err := core.Repartition(context.Background(), g, aIGP, core.Options{Solver: cfg.Solver, Parallelism: cfg.Parallelism}); err != nil {
 		return nil, err
 	}
 	out.CutIGP = partition.Cut(g, aIGP).Total
 
 	aIGPR := baseA.Clone()
-	if _, err := core.Repartition(context.Background(), g, aIGPR, core.Options{Solver: cfg.Solver, Refine: true}); err != nil {
+	if _, err := core.Repartition(context.Background(), g, aIGPR, core.Options{Solver: cfg.Solver, Refine: true, Parallelism: cfg.Parallelism}); err != nil {
 		return nil, err
 	}
 	out.CutIGPR = partition.Cut(g, aIGPR).Total

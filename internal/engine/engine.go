@@ -47,6 +47,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"runtime"
 	"time"
 
 	"repro/internal/balance"
@@ -54,6 +55,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/layering"
 	"repro/internal/lp"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/refine"
 )
@@ -86,6 +88,12 @@ type Options struct {
 	// Observer, if non-nil, receives stage-level Events during
 	// Repartition (see Event for the ordering contract).
 	Observer func(Event)
+	// Parallelism is the worker count for the engine's sharded kernels:
+	// the incremental boundary recompute, the layering BFS and the
+	// refinement gain scan. 0 means runtime.GOMAXPROCS(0); 1 selects the
+	// exact sequential code path. Results are bit-identical for every
+	// value — parallelism is purely a latency property.
+	Parallelism int
 }
 
 func (o Options) solver() lp.Solver {
@@ -107,6 +115,16 @@ func (o Options) maxStages() int {
 		return 16
 	}
 	return o.MaxStages
+}
+
+func (o Options) procs() int {
+	if o.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
 }
 
 // StageStats records one balancing stage.
@@ -140,6 +158,14 @@ type Stats struct {
 	// LPIterations is the total simplex pivots across every balance stage
 	// and refinement round.
 	LPIterations int
+	// Parallelism is the worker count the engine's sharded kernels ran
+	// with (1 = the sequential path).
+	Parallelism int
+	// WorkerBusy is the per-worker busy wall clock summed over every
+	// parallel region of the call (boundary sync, layering BFS, gain
+	// scans, pool sorts); index w is worker w. Empty on the sequential
+	// path. Like Stages it is an arena reused across calls.
+	WorkerBusy []time.Duration
 }
 
 // TotalTime sums the phase times.
@@ -147,10 +173,12 @@ func (s *Stats) TotalTime() time.Duration {
 	return s.AssignTime + s.LayerTime + s.BalanceTime + s.RefineTime
 }
 
-// reset readies a Stats arena for reuse, keeping the Stages capacity.
+// reset readies a Stats arena for reuse, keeping the Stages and
+// WorkerBusy capacity.
 func (s *Stats) reset() {
 	stages := s.Stages[:0]
-	*s = Stats{Stages: stages}
+	busy := s.WorkerBusy[:0]
+	*s = Stats{Stages: stages, WorkerBusy: busy}
 }
 
 // MaxLPSize returns the largest (vars, cons) over all balancing stages —
@@ -194,6 +222,17 @@ type Engine struct {
 	targets  []int
 	bestPart []int32
 	stats    Stats // reused result arena; see Repartition
+
+	// Worker pool for the sharded kernels (see parallel.go): one
+	// fork-join group shared with the layering and gains scratches so
+	// per-worker busy times roll up in one place. Worker goroutines
+	// exist only inside a region — nothing outlives a call.
+	procs  int
+	group  par.Group
+	shards []par.Range
+	bws    []boundaryWorker
+	rb     rebuildTask
+	df     diffTask
 }
 
 // neverSeen marks prevPart slots the engine has not synced yet; it never
@@ -225,7 +264,15 @@ func New(g *graph.Graph, opt Options) *Engine {
 	default:
 		opt.RefineOptions.Solver = lp.Session(rs)
 	}
-	return &Engine{g: g, opt: opt}
+	e := &Engine{g: g, opt: opt, procs: opt.procs()}
+	// The layering and gains scratches shard over the same worker count
+	// and run their regions on the engine's fork-join group, so
+	// Stats.WorkerBusy aggregates every kernel's per-worker busy time.
+	e.lay.Procs = e.procs
+	e.lay.Group = &e.group
+	e.gain.Procs = e.procs
+	e.gain.Group = &e.group
+	return e
 }
 
 // sameSolverInstance reports whether a and b are the very same solver
@@ -319,17 +366,23 @@ func (e *Engine) nextGen() {
 }
 
 // rebuildBoundary recomputes the boundary set from scratch over the
-// current snapshot.
+// current snapshot. With Parallelism > 1 the scan is sharded by arc
+// count; per-worker lists merged in shard order reproduce the
+// sequential ascending-id layout exactly (see parallel.go).
 func (e *Engine) rebuildBoundary(a *partition.Assignment) {
 	n := e.csr.Order()
 	e.growTo(n)
 	e.boundary = e.boundary[:0]
 	e.listDirty = false
-	for v := 0; v < n; v++ {
-		member := e.isBoundary(graph.Vertex(v), a)
-		e.inBoundary[v] = member
-		if member {
-			e.boundary = append(e.boundary, graph.Vertex(v))
+	if e.procs > 1 && n >= parBoundaryMin {
+		e.rebuildBoundaryPar(a)
+	} else {
+		for v := 0; v < n; v++ {
+			member := e.isBoundary(graph.Vertex(v), a)
+			e.inBoundary[v] = member
+			if member {
+				e.boundary = append(e.boundary, graph.Vertex(v))
+			}
 		}
 	}
 	copy(e.prevPart[:n], a.Part[:n])
@@ -369,7 +422,14 @@ func (e *Engine) recompute(v graph.Vertex, a *partition.Assignment) {
 
 // diffAssignment re-examines every vertex whose partition changed since
 // the last sync, plus its neighbors (whose boundary status depends on it).
+// With Parallelism > 1 the O(n) diff scan is sharded; vertices are
+// claimed through the atomic recompute stamp so each is re-examined by
+// exactly one worker (see parallel.go).
 func (e *Engine) diffAssignment(a *partition.Assignment) {
+	if e.procs > 1 && e.csr.Order() >= parBoundaryMin {
+		e.diffAssignmentPar(a)
+		return
+	}
 	n := e.csr.Order()
 	for v := 0; v < n; v++ {
 		if a.Part[v] == e.prevPart[v] {
@@ -432,6 +492,7 @@ func (e *Engine) Repartition(ctx context.Context, a *partition.Assignment) (*Sta
 	e.stats.reset()
 	st := &e.stats
 	opt := e.opt
+	e.group.Reset()
 	tStart := time.Now()
 	defer func() {
 		st.Elapsed = time.Since(tStart)
@@ -440,6 +501,10 @@ func (e *Engine) Repartition(ctx context.Context, a *partition.Assignment) (*Sta
 		}
 		if st.Refine != nil {
 			st.LPIterations += st.Refine.Iterations
+		}
+		st.Parallelism = e.procs
+		if e.procs > 1 {
+			st.WorkerBusy = append(st.WorkerBusy[:0], e.group.Times()...)
 		}
 	}()
 

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// FuzzBoundaryExact is the fuzz form of the PR 1 boundary-exactness
+// test: random edit sequences against random geometric graphs, with the
+// incremental tracker (at a fuzzed worker count) checked against the
+// brute-force boundary after every burst.
+func FuzzBoundaryExact(f *testing.F) {
+	f.Add(int64(1), uint8(12), uint8(0))
+	f.Add(int64(42), uint8(40), uint8(3))
+	f.Add(int64(7), uint8(25), uint8(7))
+	f.Fuzz(func(t *testing.T, seed int64, edits uint8, procs uint8) {
+		workers := 1 + int(procs%8)
+		n := 60 + int(uint64(seed)%400) // spans parBoundaryMin: both boundary paths get fuzzed
+		p := 3 + int(uint64(seed)%4)
+		g, a := editableGraph(t, n, p, seed)
+		e := New(g, Options{Parallelism: workers})
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		requireSameBoundary(t, e.Boundary(a), bruteBoundary(g, a))
+		for i := 0; i < int(edits); i++ {
+			randomEdit(g, a, rng)
+			if i%3 == 0 {
+				requireSameBoundary(t, e.Boundary(a), bruteBoundary(g, a))
+			}
+		}
+		requireSameBoundary(t, e.Boundary(a), bruteBoundary(g, a))
+	})
+}
+
+// FuzzParallelEquivalence is the parallel-vs-sequential kernel
+// equivalence fuzz: the same random edit sequence drives a sequential
+// and a parallel engine, and the boundary set, the layering result, the
+// gain candidates and a full IGPR Repartition must stay bit-identical
+// for the fuzzed worker count.
+func FuzzParallelEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(6), uint8(2), false)
+	f.Add(int64(9), uint8(20), uint8(5), true)
+	f.Add(int64(23), uint8(14), uint8(15), false)
+	f.Fuzz(func(t *testing.T, seed int64, edits uint8, procs uint8, strict bool) {
+		workers := 2 + int(procs%15)
+		n := 60 + int(uint64(seed)%400) // spans parBoundaryMin: both boundary paths get fuzzed
+		p := 3 + int(uint64(seed)%5)
+		gSeq, aSeq := editableGraph(t, n, p, seed)
+		gPar := gSeq.Clone()
+		aPar := aSeq.Clone()
+		eSeq := New(gSeq, Options{Refine: true, Parallelism: 1})
+		ePar := New(gPar, Options{Refine: true, Parallelism: workers})
+		rngSeq := rand.New(rand.NewSource(seed ^ 0xfa11))
+		rngPar := rand.New(rand.NewSource(seed ^ 0xfa11))
+		for i := 0; i < int(edits); i++ {
+			randomEdit(gSeq, aSeq, rngSeq)
+			randomEdit(gPar, aPar, rngPar)
+		}
+
+		requireSameBoundary(t, ePar.Boundary(aPar), bruteBoundary(gPar, aPar))
+		laySeq, errS := eSeq.Layer(context.Background(), aSeq)
+		layPar, errP := ePar.Layer(context.Background(), aPar)
+		if (errS == nil) != (errP == nil) {
+			t.Fatalf("layer error mismatch: %v vs %v", errS, errP)
+		}
+		if errS == nil {
+			requireSameLayer(t, layPar, laySeq, aSeq.P)
+		}
+		cSeq, errS := eSeq.Gains(aSeq, strict)
+		cPar, errP := ePar.Gains(aPar, strict)
+		if (errS == nil) != (errP == nil) {
+			t.Fatalf("gains error mismatch: %v vs %v", errS, errP)
+		}
+		if errS == nil {
+			requireSameGains(t, cPar, cSeq, aSeq.P)
+		}
+
+		_, errS = eSeq.Repartition(context.Background(), aSeq)
+		_, errP = ePar.Repartition(context.Background(), aPar)
+		if (errS == nil) != (errP == nil) {
+			t.Fatalf("repartition error mismatch: %v vs %v", errS, errP)
+		}
+		if errS != nil {
+			return // infeasible on both: nothing further to compare
+		}
+		if len(aSeq.Part) != len(aPar.Part) {
+			t.Fatalf("assignment lengths diverge: %d vs %d", len(aSeq.Part), len(aPar.Part))
+		}
+		for v := range aSeq.Part {
+			if aSeq.Part[v] != aPar.Part[v] {
+				t.Fatalf("assignment diverges at vertex %d: %d vs %d (workers=%d)",
+					v, aSeq.Part[v], aPar.Part[v], workers)
+			}
+		}
+	})
+}

@@ -1,0 +1,139 @@
+// The sharded form of the engine's boundary maintenance. Both O(n)
+// passes — the from-scratch rebuild and the assignment-diff scan — are
+// split into arc-balanced contiguous vertex shards run on the engine's
+// fork-join group. The rebuild writes each vertex's membership from its
+// owning shard and merges per-worker lists in shard order, reproducing
+// the sequential ascending-id boundary exactly. The diff scan claims
+// every re-examined vertex through an atomic compare-and-swap on the
+// engine's recompute stamp, so each vertex's membership flip is decided
+// and applied by exactly one worker; membership (a pure function of
+// graph + assignment) stays deterministic even though the claim winner
+// — and hence the unordered boundary list's layout — is not. The
+// boundary's documented contract is an unordered duplicate-free set,
+// and both downstream kernels (seeded layering, seeded gains) are
+// order-independent, which FuzzParallelEquivalence exercises.
+package engine
+
+import (
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// parBoundaryMin is the snapshot order below which the boundary passes
+// run inline instead of forking the worker group — the same
+// small-input cutoff the layering and gains kernels apply. The
+// threshold depends only on the graph order, and boundary membership
+// is worker-count independent anyway, so determinism is unaffected.
+// (FuzzBoundaryExact and FuzzParallelEquivalence generate graphs on
+// both sides of this constant; keep that true if it changes.)
+const parBoundaryMin = 256
+
+// boundaryWorker is one worker's private arena for boundary passes.
+type boundaryWorker struct {
+	add   []graph.Vertex // vertices that entered the boundary
+	dirty bool           // a vertex left the boundary (list needs compaction)
+}
+
+// growWorkers readies the per-worker arenas.
+func (e *Engine) growWorkers() {
+	for len(e.bws) < e.procs {
+		e.bws = append(e.bws, boundaryWorker{})
+	}
+}
+
+// rebuildBoundaryPar is the sharded full rebuild; the caller has already
+// truncated e.boundary and grown the tracker arrays.
+func (e *Engine) rebuildBoundaryPar(a *partition.Assignment) {
+	e.growWorkers()
+	e.shards = e.csr.Shards(e.shards[:0], e.procs)
+	e.rb = rebuildTask{e: e, a: a}
+	e.group.Run(len(e.shards), &e.rb)
+	e.rb = rebuildTask{} // drop the assignment pointer after the region
+	for w := range e.shards {
+		e.boundary = append(e.boundary, e.bws[w].add...)
+	}
+}
+
+// rebuildTask scans one vertex-range shard for boundary membership.
+type rebuildTask struct {
+	e *Engine
+	a *partition.Assignment
+}
+
+func (t *rebuildTask) Do(w int) {
+	e := t.e
+	ws := &e.bws[w]
+	ws.add = ws.add[:0]
+	sh := e.shards[w]
+	for v := sh.Lo; v < sh.Hi; v++ {
+		member := e.isBoundary(graph.Vertex(v), t.a)
+		e.inBoundary[v] = member
+		if member {
+			ws.add = append(ws.add, graph.Vertex(v))
+		}
+	}
+}
+
+// diffAssignmentPar is the sharded assignment-diff scan.
+func (e *Engine) diffAssignmentPar(a *partition.Assignment) {
+	e.growWorkers()
+	e.shards = e.csr.Shards(e.shards[:0], e.procs)
+	e.df = diffTask{e: e, a: a}
+	e.group.Run(len(e.shards), &e.df)
+	e.df = diffTask{} // drop the assignment pointer after the region
+	for w := range e.shards {
+		ws := &e.bws[w]
+		e.boundary = append(e.boundary, ws.add...)
+		if ws.dirty {
+			e.listDirty = true
+		}
+	}
+}
+
+// diffTask scans one vertex-range shard for assignment changes,
+// re-examining changed vertices and their neighbors.
+type diffTask struct {
+	e *Engine
+	a *partition.Assignment
+}
+
+func (t *diffTask) Do(w int) {
+	e := t.e
+	ws := &e.bws[w]
+	ws.add = ws.add[:0]
+	ws.dirty = false
+	sh := e.shards[w]
+	for v := sh.Lo; v < sh.Hi; v++ {
+		if t.a.Part[v] == e.prevPart[v] {
+			continue
+		}
+		e.recomputePar(ws, graph.Vertex(v), t.a)
+		for _, u := range e.csr.Row(graph.Vertex(v)) {
+			e.recomputePar(ws, u, t.a)
+		}
+	}
+}
+
+// recomputePar is recompute with an atomic claim: the stamp CAS admits
+// exactly one worker per vertex per sync, so the inBoundary read and
+// write below are race-free. Stamps already claimed by the sequential
+// journal pass (which runs before the diff region starts) are seen as
+// current and skipped, exactly like the sequential path.
+func (e *Engine) recomputePar(ws *boundaryWorker, v graph.Vertex, a *partition.Assignment) {
+	cur := atomic.LoadUint32(&e.stamp[v])
+	if cur == e.gen || !atomic.CompareAndSwapUint32(&e.stamp[v], cur, e.gen) {
+		return
+	}
+	now := e.isBoundary(v, a)
+	if now == e.inBoundary[v] {
+		return
+	}
+	e.inBoundary[v] = now
+	if now {
+		ws.add = append(ws.add, v)
+	} else {
+		ws.dirty = true
+	}
+}

@@ -1,0 +1,15 @@
+package graph
+
+import "repro/internal/par"
+
+// Shards divides the snapshot's vertex range [0, Order()) into at most
+// workers contiguous ranges of near-equal arc count, appending to dst
+// and returning the extended slice. Row pointers are the prefix sum of
+// vertex degrees, so this is par.SplitByWeight over XAdj: the sharded
+// kernels use it to hand each worker a vertex range carrying a fair
+// share of the arc work even when degrees are skewed. The snapshot is
+// only read; the result is a pure function of (snapshot, workers) and
+// the call allocates nothing once dst has capacity.
+func (c *CSR) Shards(dst []par.Range, workers int) []par.Range {
+	return par.SplitByWeight(dst, c.XAdj, workers)
+}

@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCSRShardsCoverAndBalance checks the sharding helper on an
+// irregular graph: shards are contiguous, cover every vertex slot, and
+// carry near-equal arc counts.
+func TestCSRShardsCoverAndBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, _ := RandomGeometric(400, 0.09, rng)
+	EnsureConnected(g)
+	c := g.ToCSR()
+	for _, workers := range []int{1, 2, 3, 8, 16} {
+		shards := c.Shards(nil, workers)
+		pos := 0
+		arcs := make([]int, len(shards))
+		for i, sh := range shards {
+			if sh.Lo != pos || sh.Hi < sh.Lo {
+				t.Fatalf("workers=%d: shard %d = %+v does not continue at %d", workers, i, sh, pos)
+			}
+			pos = sh.Hi
+			arcs[i] = int(c.XAdj[sh.Hi] - c.XAdj[sh.Lo])
+		}
+		if pos != c.Order() {
+			t.Fatalf("workers=%d: shards cover [0,%d), want [0,%d)", workers, pos, c.Order())
+		}
+		total := int(c.XAdj[c.Order()])
+		fair := total / len(shards)
+		for i, a := range arcs {
+			// Arc balance within a generous factor: one vertex's degree
+			// of slack plus rounding.
+			if a > 2*fair+64 {
+				t.Fatalf("workers=%d: shard %d carries %d arcs, fair share %d", workers, i, a, fair)
+			}
+		}
+	}
+	// Determinism.
+	a := c.Shards(nil, 7)
+	b := c.Shards(nil, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Shards is not deterministic")
+		}
+	}
+}

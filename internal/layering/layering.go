@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/cancel"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/partition"
 )
 
@@ -64,6 +65,15 @@ func (r *Result) Neighbors(i int32) []int32 {
 // reused, so repeated layering of a stable-size graph allocates nothing.
 // The Result returned by its methods is owned by the Scratch and is
 // invalidated by the next call.
+//
+// Procs > 1 switches the kernel to its sharded parallel form (see
+// parallel.go): the level-0 scan, each BFS level expansion, the
+// attachment scan and the large per-level pool sorts are fanned out
+// over Procs workers with per-worker arenas merged deterministically in
+// shard order. The produced Result is bit-identical to the sequential
+// kernel's for every worker count. Group, when non-nil, is the shared
+// fork-join executor to run regions on (the engine passes its own so
+// per-worker busy times roll up across kernels); nil uses a private one.
 type Scratch struct {
 	res          Result
 	counts       []int
@@ -74,6 +84,23 @@ type Scratch struct {
 	byLevel      [][]graph.Vertex
 	att          []int32
 	sorter       poolSorter
+
+	// Parallel state; see parallel.go.
+	Procs    int
+	Group    *par.Group
+	ownGroup par.Group
+	ws       []layerWorker
+	stamp    []uint32
+	gen      uint32
+	seedBuf  []graph.Vertex
+	nextBuf  []graph.Vertex
+	mergeBuf []graph.Vertex
+	runEnds  []int
+	shards   []par.Range
+	lz       levelZeroTask
+	lv       levelTask
+	at       attTask
+	srt      sortTask
 }
 
 // poolSorter orders one level's vertices by attachment (descending) then
@@ -93,6 +120,25 @@ func (s *poolSorter) Less(i, j int) bool {
 	return s.vs[i] < s.vs[j]
 }
 func (s *poolSorter) Swap(i, j int) { s.vs[i], s.vs[j] = s.vs[j], s.vs[i] }
+
+// bestLabel picks the winning label from a non-empty candidate list:
+// the most-counted entry of touched, ties toward the smaller partition
+// id. It resets the counts it examined, restoring the all-zero scratch
+// invariant. Every kernel — sequential and sharded — selects labels
+// through this one function, so the tie-break rule (which the parallel
+// bit-identity contract rides on) is single-sourced.
+func bestLabel(counts []int, touched []int32) int32 {
+	best := touched[0]
+	for _, k := range touched[1:] {
+		if counts[k] > counts[best] || (counts[k] == counts[best] && k < best) {
+			best = k
+		}
+	}
+	for _, k := range touched {
+		counts[k] = 0
+	}
+	return best
+}
 
 // Layer runs the layering algorithm. Every live vertex must be assigned.
 func Layer(g *graph.Graph, a *partition.Assignment) (*Result, error) {
@@ -183,9 +229,6 @@ func (s *Scratch) grow(n, p int) *Result {
 		s.inCandidates = make([]bool, n)
 	}
 	s.inCandidates = s.inCandidates[:n]
-	for i := range s.inCandidates {
-		s.inCandidates[i] = false
-	}
 	s.att = growInt32(s.att, n)
 	for i := range s.att[:n] {
 		s.att[i] = 0
@@ -208,9 +251,19 @@ func growInt32(b []int32, n int) []int32 {
 // The context is polled once per BFS level (the natural yield point of
 // the level-synchronous traversal); an abort leaves the Scratch reusable.
 func (s *Scratch) run(ctx context.Context, c *graph.CSR, a *partition.Assignment, seeds []graph.Vertex, seeded bool) (*Result, error) {
+	if s.Procs > 1 {
+		return s.runPar(ctx, c, a, seeds, seeded)
+	}
 	n := c.Order()
 	p := a.P
 	r := s.grow(n, p)
+	// The candidate-dedup flags are sequential-only (the sharded kernel
+	// dedups through atomic stamps), so the O(n) clear lives here, off
+	// the parallel path. A canceled run can leave flags set for
+	// candidates that were discovered but never processed.
+	for i := range s.inCandidates[:n] {
+		s.inCandidates[i] = false
+	}
 	counts := s.counts
 	touched := s.touched[:0]
 	frontier := s.frontier[:0]
@@ -235,16 +288,7 @@ func (s *Scratch) run(ctx context.Context, c *graph.CSR, a *partition.Assignment
 		if len(touched) == 0 {
 			return
 		}
-		best := touched[0]
-		for _, k := range touched[1:] {
-			if counts[k] > counts[best] || (counts[k] == counts[best] && k < best) {
-				best = k
-			}
-		}
-		for _, k := range touched {
-			counts[k] = 0
-		}
-		r.Label[v] = best
+		r.Label[v] = bestLabel(counts, touched)
 		r.Level[v] = 0
 		frontier = append(frontier, v)
 	}
@@ -303,16 +347,7 @@ func (s *Scratch) run(ctx context.Context, c *graph.CSR, a *partition.Assignment
 			if len(touched) == 0 {
 				continue // unreachable this round (cannot happen: u was discovered)
 			}
-			best := touched[0]
-			for _, k := range touched[1:] {
-				if counts[k] > counts[best] || (counts[k] == counts[best] && k < best) {
-					best = k
-				}
-			}
-			for _, k := range touched {
-				counts[k] = 0
-			}
-			r.Label[u] = best
+			r.Label[u] = bestLabel(counts, touched)
 			r.Level[u] = level + 1
 			frontier = append(frontier, u)
 		}
@@ -323,11 +358,35 @@ func (s *Scratch) run(ctx context.Context, c *graph.CSR, a *partition.Assignment
 	s.frontier = frontier[:0]
 	s.candidates = candidates[:0]
 
-	// Pools and δ in (level, attachment, vertex-id) order: vertices closer
-	// to the boundary move first, and within a level the vertices with the
-	// most edges into their destination partition move first — realizing a
-	// flow this way peels coherent boundary bands instead of scattering
-	// moves, which keeps the cut low across repeated repartitionings.
+	// Edges from v into its label partition, for the pool ordering.
+	att := s.att
+	for v := 0; v < n; v++ {
+		if r.Label[v] < 0 {
+			continue
+		}
+		lab := r.Label[v]
+		for _, u := range c.Row(graph.Vertex(v)) {
+			if a.Part[u] == lab {
+				att[v]++
+			}
+		}
+	}
+	s.buildPools(c, a, false)
+	return r, nil
+}
+
+// buildPools fills Delta and the per-pair pools from the completed
+// labeling, in (level, attachment, vertex-id) order: vertices closer to
+// the boundary move first, and within a level the vertices with the
+// most edges into their destination partition move first — realizing a
+// flow this way peels coherent boundary bands instead of scattering
+// moves, which keeps the cut low across repeated repartitionings. The
+// attachment array s.att must already be computed. The comparator is a
+// total order, so the pool layout depends only on the labeling — never
+// on discovery order or on how the sort work was sharded (parSort).
+func (s *Scratch) buildPools(c *graph.CSR, a *partition.Assignment, parSort bool) {
+	r := &s.res
+	n := c.Order()
 	maxLevel := int32(-1)
 	for v := 0; v < n; v++ {
 		if r.Level[v] > maxLevel {
@@ -348,21 +407,13 @@ func (s *Scratch) run(ctx context.Context, c *graph.CSR, a *partition.Assignment
 			byLevel[l] = append(byLevel[l], graph.Vertex(v))
 		}
 	}
-	att := s.att // edges from v into its label partition
-	for v := 0; v < n; v++ {
-		if r.Label[v] < 0 {
-			continue
-		}
-		lab := r.Label[v]
-		for _, u := range c.Row(graph.Vertex(v)) {
-			if a.Part[u] == lab {
-				att[v]++
-			}
-		}
-	}
 	for l, vs := range byLevel {
-		s.sorter.vs, s.sorter.att = vs, att
-		sort.Stable(&s.sorter)
+		if parSort {
+			s.sortLevelPar(vs)
+		} else {
+			s.sorter.vs, s.sorter.att = vs, s.att
+			sort.Stable(&s.sorter)
+		}
 		for _, v := range vs {
 			i, j := a.Part[v], r.Label[v]
 			r.pools[i][j] = append(r.pools[i][j], v)
@@ -370,7 +421,6 @@ func (s *Scratch) run(ctx context.Context, c *graph.CSR, a *partition.Assignment
 		}
 		byLevel[l] = vs[:0]
 	}
-	return r, nil
 }
 
 // Validate checks internal consistency of a layering against its graph

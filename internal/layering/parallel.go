@@ -1,0 +1,437 @@
+// The sharded parallel form of the layering kernel. Vertex work is
+// split into contiguous shards (arc-balanced over the CSR for full
+// scans, count-balanced for seed/frontier lists); every worker owns a
+// private arena (layerWorker) and the join merges per-worker output in
+// shard order. Determinism is structural, not scheduled: labels at
+// level ℓ+1 depend only on the completed level-ℓ labeling, pool layout
+// is a total order over (level, attachment, id), and the only shared
+// mutable state inside a region — the candidate claim stamps — decides
+// membership (deterministic) rather than values. The produced Result
+// is therefore bit-identical to the sequential kernel's for any worker
+// count, a property the engine fuzzes (FuzzParallelEquivalence).
+package layering
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/cancel"
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/partition"
+)
+
+// candLab is one claimed BFS candidate and its computed label.
+type candLab struct {
+	v   graph.Vertex
+	lab int32
+}
+
+// layerWorker is one worker's private arena: label-count scratch,
+// frontier/candidate output buffers and a sorter for shard sorts. All
+// grow to the largest call seen and are then reused.
+type layerWorker struct {
+	counts   []int
+	touched  []int32
+	frontier []graph.Vertex
+	cands    []candLab
+	sorter   poolSorter
+}
+
+// group returns the fork-join executor to run regions on.
+func (s *Scratch) group() *par.Group {
+	if s.Group != nil {
+		return s.Group
+	}
+	return &s.ownGroup
+}
+
+// growPar readies the parallel-only state for an order-n, P-partition run.
+func (s *Scratch) growPar(n, p int) {
+	if cap(s.stamp) < n {
+		s.stamp = make([]uint32, n)
+	}
+	s.stamp = s.stamp[:n]
+	for len(s.ws) < s.Procs {
+		s.ws = append(s.ws, layerWorker{})
+	}
+	for w := range s.ws[:s.Procs] {
+		ws := &s.ws[w]
+		for len(ws.counts) < p {
+			ws.counts = append(ws.counts, 0)
+		}
+	}
+}
+
+// clearTasks drops the snapshot/assignment/seed pointers the reusable
+// task structs captured for the last call's regions, so a long-lived
+// scratch never pins a caller's dropped Assignment or CSR in memory.
+func (s *Scratch) clearTasks() {
+	s.lz = levelZeroTask{}
+	s.lv = levelTask{}
+	s.at = attTask{}
+	s.srt = sortTask{}
+}
+
+// nextGen advances the claim-stamp generation, clearing the stamps on
+// wrap so a stamp from exactly 2^32 generations ago cannot masquerade
+// as current.
+func (s *Scratch) nextGen() {
+	s.gen++
+	if s.gen == 0 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.gen = 1
+	}
+}
+
+// claim atomically marks u with the current generation; it reports true
+// for exactly one caller per generation.
+func (s *Scratch) claim(u graph.Vertex) bool {
+	cur := atomic.LoadUint32(&s.stamp[u])
+	return cur != s.gen && atomic.CompareAndSwapUint32(&s.stamp[u], cur, s.gen)
+}
+
+// runPar is the sharded counterpart of run; see the package comment of
+// this file for the determinism argument.
+func (s *Scratch) runPar(ctx context.Context, c *graph.CSR, a *partition.Assignment, seeds []graph.Vertex, seeded bool) (*Result, error) {
+	n := c.Order()
+	p := a.P
+	r := s.grow(n, p)
+	s.growPar(n, p)
+	g := s.group()
+	defer s.clearTasks()
+
+	// Level 0. Seeded runs dedup the seed list first (the API allows
+	// duplicates; the sharded pass must own each vertex exactly once),
+	// then shard the deduped list; unseeded runs shard the vertex range
+	// by arc count. Workers classify boundary vertices into private
+	// frontier buffers, merged in shard order.
+	if seeded {
+		s.nextGen()
+		buf := s.seedBuf[:0]
+		for _, v := range seeds {
+			if s.stamp[v] != s.gen {
+				s.stamp[v] = s.gen
+				buf = append(buf, v)
+			}
+		}
+		s.seedBuf = buf
+		procs := s.Procs
+		if len(buf) < parLevelMin {
+			procs = 1 // tiny boundary: classify inline, skip the fork-join
+		}
+		s.shards = par.Split(s.shards[:0], len(buf), procs)
+	} else {
+		procs := s.Procs
+		if n < parOrderMin {
+			procs = 1 // tiny graph: scan inline, skip the fork-join
+		}
+		s.shards = c.Shards(s.shards[:0], procs)
+	}
+	s.lz = levelZeroTask{s: s, c: c, a: a, seeds: s.seedBuf, seeded: seeded}
+	g.Run(len(s.shards), &s.lz)
+	frontier := s.frontier[:0]
+	for w := range s.shards {
+		frontier = append(frontier, s.ws[w].frontier...)
+	}
+
+	// Interior levels: workers shard the frontier, claim undiscovered
+	// same-partition neighbors through the atomic stamp, and compute
+	// each claimed vertex's label immediately — the label inputs are
+	// the completed level-ℓ labeling, which nothing writes during the
+	// region. The join then applies the labels and concatenates the
+	// next frontier in worker order. Claim racing can reorder the
+	// frontier relative to the sequential kernel, but no Result field
+	// depends on frontier order.
+	s.nextGen() // fresh generation: seed-dedup stamps must not mask claims
+	next := s.nextBuf[:0]
+	level := int32(0)
+	for len(frontier) > 0 {
+		if err := cancel.Check(ctx, "layering BFS"); err != nil {
+			// Hand the grown buffers back before aborting so the
+			// Scratch stays reusable after a canceled run.
+			s.frontier = frontier[:0]
+			s.nextBuf = next[:0]
+			return nil, err
+		}
+		// Small frontiers expand inline: a deep narrow layering must
+		// not pay a fork-join per ring. The cutoff depends only on the
+		// frontier length — and the result is worker-count independent
+		// anyway — so determinism is unaffected.
+		procs := s.Procs
+		if len(frontier) < parLevelMin {
+			procs = 1
+		}
+		s.shards = par.Split(s.shards[:0], len(frontier), procs)
+		s.lv = levelTask{s: s, c: c, a: a, frontier: frontier, level: level}
+		g.Run(len(s.shards), &s.lv)
+		next = next[:0]
+		for w := range s.shards {
+			for _, cl := range s.ws[w].cands {
+				r.Label[cl.v] = cl.lab
+				r.Level[cl.v] = level + 1
+				next = append(next, cl.v)
+			}
+		}
+		frontier, next = next, frontier
+		level++
+	}
+	s.frontier = frontier[:0]
+	s.nextBuf = next[:0]
+
+	// Attachment scan, sharded by arc count (inline on tiny graphs).
+	attProcs := s.Procs
+	if n < parOrderMin {
+		attProcs = 1
+	}
+	s.shards = c.Shards(s.shards[:0], attProcs)
+	s.at = attTask{s: s, c: c, a: a}
+	g.Run(len(s.shards), &s.at)
+
+	s.buildPools(c, a, true)
+	return r, nil
+}
+
+// levelZeroTask classifies one shard of the level-0 pass.
+type levelZeroTask struct {
+	s      *Scratch
+	c      *graph.CSR
+	a      *partition.Assignment
+	seeds  []graph.Vertex
+	seeded bool
+}
+
+func (t *levelZeroTask) Do(w int) {
+	s := t.s
+	ws := &s.ws[w]
+	ws.frontier = ws.frontier[:0]
+	sh := s.shards[w]
+	if t.seeded {
+		for _, v := range t.seeds[sh.Lo:sh.Hi] {
+			s.levelZeroInto(ws, t.c, t.a, v)
+		}
+		return
+	}
+	for v := sh.Lo; v < sh.Hi; v++ {
+		s.levelZeroInto(ws, t.c, t.a, graph.Vertex(v))
+	}
+}
+
+// levelZeroInto is the per-vertex level-0 classification, the exact
+// math of the sequential kernel's levelZero against worker-private
+// count scratch. v is owned by the calling worker (shards are disjoint
+// and seeds deduped), so the Label/Level writes are race-free.
+func (s *Scratch) levelZeroInto(ws *layerWorker, c *graph.CSR, a *partition.Assignment, v graph.Vertex) {
+	r := &s.res
+	if !c.Live[v] || r.Level[v] == 0 {
+		return
+	}
+	pv := a.Part[v]
+	counts := ws.counts
+	touched := ws.touched[:0]
+	for _, u := range c.Row(v) {
+		pu := a.Part[u]
+		if pu != pv {
+			if counts[pu] == 0 {
+				touched = append(touched, pu)
+			}
+			counts[pu]++
+		}
+	}
+	ws.touched = touched[:0]
+	if len(touched) == 0 {
+		return
+	}
+	r.Label[v] = bestLabel(counts, touched)
+	r.Level[v] = 0
+	ws.frontier = append(ws.frontier, v)
+}
+
+// levelTask expands one shard of the current frontier.
+type levelTask struct {
+	s        *Scratch
+	c        *graph.CSR
+	a        *partition.Assignment
+	frontier []graph.Vertex
+	level    int32
+}
+
+func (t *levelTask) Do(w int) {
+	s := t.s
+	ws := &s.ws[w]
+	ws.cands = ws.cands[:0]
+	r := &s.res
+	sh := s.shards[w]
+	for _, v := range t.frontier[sh.Lo:sh.Hi] {
+		pv := t.a.Part[v]
+		for _, u := range t.c.Row(v) {
+			if t.a.Part[u] != pv || r.Label[u] >= 0 || !s.claim(u) {
+				continue
+			}
+			if lab := s.labelFor(ws, t.c, t.a, u, t.level); lab >= 0 {
+				ws.cands = append(ws.cands, candLab{v: u, lab: lab})
+			}
+		}
+	}
+}
+
+// labelFor computes the level-(level+1) label of claimed candidate u:
+// the label most common among its same-partition level-`level`
+// neighbors, ties toward the smaller partition id — the sequential
+// kernel's exact rule. It returns -1 when u has no support at that
+// level, which cannot happen for a genuinely discovered candidate.
+func (s *Scratch) labelFor(ws *layerWorker, c *graph.CSR, a *partition.Assignment, u graph.Vertex, level int32) int32 {
+	r := &s.res
+	pu := a.Part[u]
+	counts := ws.counts
+	touched := ws.touched[:0]
+	for _, nb := range c.Row(u) {
+		if a.Part[nb] != pu {
+			continue
+		}
+		if r.Label[nb] >= 0 && r.Level[nb] == level {
+			k := r.Label[nb]
+			if counts[k] == 0 {
+				touched = append(touched, k)
+			}
+			counts[k]++
+		}
+	}
+	ws.touched = touched[:0]
+	if len(touched) == 0 {
+		return -1
+	}
+	return bestLabel(counts, touched)
+}
+
+// attTask fills one vertex-range shard of the attachment array (edges
+// from v into its label partition). Reads the completed labeling only;
+// writes att[v] within the worker's own range.
+type attTask struct {
+	s *Scratch
+	c *graph.CSR
+	a *partition.Assignment
+}
+
+func (t *attTask) Do(w int) {
+	s := t.s
+	r := &s.res
+	sh := s.shards[w]
+	for v := sh.Lo; v < sh.Hi; v++ {
+		lab := r.Label[v]
+		if lab < 0 {
+			continue
+		}
+		var cnt int32
+		for _, u := range t.c.Row(graph.Vertex(v)) {
+			if t.a.Part[u] == lab {
+				cnt++
+			}
+		}
+		s.att[v] = cnt
+	}
+}
+
+// parSortMin is the level size below which a shard-sort is not worth
+// the fork-join; the threshold depends only on input size, so worker
+// count never changes which path runs for a given level — and both
+// paths produce the unique totally-ordered permutation anyway.
+const parSortMin = 256
+
+// parLevelMin is the seed/frontier size below which level work runs
+// inline instead of forking the worker group (same determinism
+// argument as parSortMin).
+const parLevelMin = 48
+
+// parOrderMin is the snapshot order below which the full-graph scans
+// (unseeded level 0, attachment) run inline — mirroring the engine's
+// parBoundaryMin so a small graph never pays fork-join overhead on any
+// region at the default parallelism.
+const parOrderMin = 256
+
+// sortTask sorts one contiguous shard of a level in place.
+type sortTask struct {
+	s  *Scratch
+	vs []graph.Vertex
+}
+
+func (t *sortTask) Do(w int) {
+	sh := t.s.shards[w]
+	ws := &t.s.ws[w]
+	ws.sorter.vs, ws.sorter.att = t.vs[sh.Lo:sh.Hi], t.s.att
+	sort.Sort(&ws.sorter)
+	ws.sorter.vs, ws.sorter.att = nil, nil
+}
+
+// sortLevelPar sorts vs into pool order (attachment descending, id
+// ascending) in place. Large levels are sorted as Procs concurrent
+// shard-sorts followed by sequential pairwise merge passes; because the
+// comparator is a total order over distinct ids, the outcome is the
+// unique sorted permutation — identical to the sequential sort.Stable
+// for every worker count.
+func (s *Scratch) sortLevelPar(vs []graph.Vertex) {
+	if len(vs) < parSortMin || s.Procs <= 1 {
+		s.sorter.vs, s.sorter.att = vs, s.att
+		sort.Stable(&s.sorter)
+		return
+	}
+	s.shards = par.Split(s.shards[:0], len(vs), s.Procs)
+	s.srt = sortTask{s: s, vs: vs}
+	s.group().Run(len(s.shards), &s.srt)
+
+	ends := s.runEnds[:0]
+	for _, sh := range s.shards {
+		ends = append(ends, sh.Hi)
+	}
+	if cap(s.mergeBuf) < len(vs) {
+		s.mergeBuf = make([]graph.Vertex, len(vs))
+	}
+	src, dst := vs, s.mergeBuf[:len(vs)]
+	for len(ends) > 1 {
+		lo, k := 0, 0
+		for i := 0; i+1 < len(ends); i += 2 {
+			s.mergeRuns(dst, src, lo, ends[i], ends[i+1])
+			lo = ends[i+1]
+			ends[k] = ends[i+1]
+			k++
+		}
+		if len(ends)%2 == 1 {
+			hi := ends[len(ends)-1]
+			copy(dst[lo:hi], src[lo:hi])
+			ends[k] = hi
+			k++
+		}
+		ends = ends[:k]
+		src, dst = dst, src
+	}
+	s.runEnds = ends[:0]
+	if &src[0] != &vs[0] {
+		copy(vs, src)
+	}
+}
+
+// mergeRuns merges the sorted runs src[lo:mid] and src[mid:hi] into
+// dst[lo:hi] under the pool order.
+func (s *Scratch) mergeRuns(dst, src []graph.Vertex, lo, mid, hi int) {
+	att := s.att
+	i, j := lo, mid
+	for k := lo; k < hi; k++ {
+		switch {
+		case i >= mid:
+			dst[k] = src[j]
+			j++
+		case j >= hi:
+			dst[k] = src[i]
+			i++
+		case att[src[i]] > att[src[j]] || (att[src[i]] == att[src[j]] && src[i] < src[j]):
+			dst[k] = src[i]
+			i++
+		default:
+			dst[k] = src[j]
+			j++
+		}
+	}
+}

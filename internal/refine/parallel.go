@@ -1,0 +1,166 @@
+// The sharded parallel form of the seeded gains kernel. The deduped
+// seed list is split into contiguous count-balanced shards; each worker
+// classifies its seeds into a private arena (gainWorker) and the join
+// concatenates per-worker pair buckets in worker order. Because finish()
+// sorts every bucket under a total order (gain descending, id
+// ascending), the concatenation order never reaches the Candidates: the
+// parallel result is bit-identical to the sequential scan's for any
+// worker count — fuzzed at the engine level (FuzzParallelEquivalence).
+package refine
+
+import (
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/partition"
+)
+
+// parScanMin is the deduped seed count below which the scan runs
+// inline instead of forking the worker group.
+const parScanMin = 48
+
+// gainWorker is one worker's private arena. touchedPairs lists the pair
+// buckets this worker filled, so the merge touches O(filled) buckets
+// instead of all P² per worker.
+type gainWorker struct {
+	out          []float64
+	touched      []int32
+	buckets      [][]cand
+	touchedPairs []int32
+}
+
+// group returns the fork-join executor to run the scan region on.
+func (s *Scratch) group() *par.Group {
+	if s.Group != nil {
+		return s.Group
+	}
+	return &s.ownGroup
+}
+
+// gainsSeededPar is the sharded counterpart of the seeded sequential
+// scan in GainsSeeded.
+func (s *Scratch) gainsSeededPar(c *graph.CSR, a *partition.Assignment, strict bool, seeds []graph.Vertex) *Candidates {
+	n := c.Order()
+	p := a.P
+	out := s.grow(n, p)
+
+	// Dedup the seed list (the API allows duplicates; each vertex must
+	// be owned by exactly one worker) using the same stamp generation
+	// the sequential consider() would.
+	buf := s.seedBuf[:0]
+	for _, v := range seeds {
+		if !c.Live[v] || s.stamp[v] == s.gen {
+			continue
+		}
+		s.stamp[v] = s.gen
+		buf = append(buf, v)
+	}
+	s.seedBuf = buf
+
+	// Tiny boundaries classify inline rather than paying the fork-join;
+	// the cutoff depends only on the seed count, and the result is
+	// worker-count independent anyway, so determinism is unaffected.
+	procs := s.Procs
+	if len(buf) < parScanMin {
+		procs = 1
+	}
+	s.shards = par.Split(s.shards[:0], len(buf), procs)
+
+	// Grow arenas only for the workers that will actually run, so a
+	// sequential fallback (or a clamped shard count) never retains
+	// Procs unused P²-bucket arenas.
+	for len(s.gws) < len(s.shards) {
+		s.gws = append(s.gws, gainWorker{})
+	}
+	for w := range s.gws[:len(s.shards)] {
+		ws := &s.gws[w]
+		for len(ws.out) < p {
+			ws.out = append(ws.out, 0)
+		}
+		if cap(ws.buckets) < p*p {
+			ws.buckets = make([][]cand, p*p)
+		}
+		ws.buckets = ws.buckets[:p*p]
+	}
+	s.task = gainsTask{s: s, c: c, a: a, strict: strict}
+	s.group().Run(len(s.shards), &s.task)
+	// Drop the snapshot/assignment pointers so a long-lived scratch
+	// never pins a caller's dropped graph state.
+	s.task = gainsTask{}
+
+	// Merge: concatenate per-worker buckets in worker order and hand
+	// the (truncated) worker buckets back for reuse. Bucket order is
+	// erased by the total-order sort in finish().
+	for w := range s.shards {
+		ws := &s.gws[w]
+		for _, k := range ws.touchedPairs {
+			s.buckets[k] = append(s.buckets[k], ws.buckets[k]...)
+			ws.buckets[k] = ws.buckets[k][:0]
+		}
+		ws.touchedPairs = ws.touchedPairs[:0]
+	}
+	s.finish()
+	return out
+}
+
+// gainsTask classifies one shard of the deduped seed list.
+type gainsTask struct {
+	s      *Scratch
+	c      *graph.CSR
+	a      *partition.Assignment
+	strict bool
+}
+
+func (t *gainsTask) Do(w int) {
+	s := t.s
+	ws := &s.gws[w]
+	sh := s.shards[w]
+	for _, v := range s.seedBuf[sh.Lo:sh.Hi] {
+		s.considerInto(ws, v, t.c.Row(v), t.c.RowWeights(v), t.a, t.strict)
+	}
+}
+
+// considerInto is consider() against a worker-private arena: same
+// classification math, but the duplicate-seed stamp guard is gone (the
+// seed list is pre-deduped) and the candidate lands in the worker's own
+// pair bucket. v is owned by the calling worker, so the Gain[v] write
+// is race-free; everything else it touches is worker-private or a
+// shared read.
+func (s *Scratch) considerInto(ws *gainWorker, v graph.Vertex, adj []graph.Vertex, wts []float64, a *partition.Assignment, strict bool) {
+	pv := a.Part[v]
+	var in float64
+	out := ws.out
+	touched := ws.touched[:0]
+	for k, u := range adj {
+		pu := a.Part[u]
+		if pu == pv {
+			in += wts[k]
+			continue
+		}
+		if out[pu] == 0 {
+			touched = append(touched, pu)
+		}
+		out[pu] += wts[k]
+	}
+	bestJ := int32(-1)
+	var bestGain float64
+	for _, j := range touched {
+		gain := out[j] - in
+		out[j] = 0
+		if gain < 0 || (strict && gain == 0) {
+			continue
+		}
+		if bestJ < 0 || gain > bestGain || (gain == bestGain && j < bestJ) {
+			bestJ, bestGain = j, gain
+		}
+	}
+	ws.touched = touched[:0]
+	if bestJ >= 0 {
+		p := s.cands.P
+		k := int32(pv)*int32(p) + bestJ
+		if len(ws.buckets[k]) == 0 {
+			ws.touchedPairs = append(ws.touchedPairs, k)
+		}
+		ws.buckets[k] = append(ws.buckets[k], cand{v, bestGain})
+		s.cands.Gain[v] = bestGain
+	}
+}

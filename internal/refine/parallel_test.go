@@ -1,0 +1,112 @@
+package refine
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// parallelFixture builds a connected random geometric graph with an
+// irregular striped assignment and its boundary seed list (duplicated,
+// to exercise the dedup path).
+func parallelFixture(t testing.TB, n, p int, seed int64) (*graph.CSR, *partition.Assignment, []graph.Vertex) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, _ := graph.RandomGeometric(n, 0.08, rng)
+	graph.EnsureConnected(g)
+	a := partition.New(g.Order(), p)
+	for v := 0; v < g.Order(); v++ {
+		a.Part[v] = int32(v * p / g.Order())
+	}
+	for i := 0; i < n/10; i++ {
+		a.Part[rng.Intn(g.Order())] = int32(rng.Intn(p))
+	}
+	c := g.ToCSR()
+	var seeds []graph.Vertex
+	for v := 0; v < c.Order(); v++ {
+		for _, u := range c.Row(graph.Vertex(v)) {
+			if a.Part[u] != a.Part[v] {
+				seeds = append(seeds, graph.Vertex(v), graph.Vertex(v))
+				break
+			}
+		}
+	}
+	return c, a, seeds
+}
+
+// TestParallelGainsEquivalence: the sharded seeded gains kernel must be
+// bit-identical to the sequential scan for every worker count.
+func TestParallelGainsEquivalence(t *testing.T) {
+	for _, cfg := range []struct {
+		n, p int
+		seed int64
+	}{
+		{60, 3, 11}, {200, 5, 12}, {500, 8, 13}, {700, 32, 14},
+	} {
+		c, a, seeds := parallelFixture(t, cfg.n, cfg.p, cfg.seed)
+		for _, strict := range []bool{false, true} {
+			var seq Scratch
+			want, err := seq.GainsSeeded(c, a, strict, seeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, procs := range []int{2, 3, 7, 16, runtime.GOMAXPROCS(0)} {
+				ps := Scratch{Procs: procs}
+				got, err := ps.GainsSeeded(c, a, strict, seeds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got.B, want.B) {
+					t.Fatalf("procs=%d strict=%v: B diverges", procs, strict)
+				}
+				if !reflect.DeepEqual(got.Gain, want.Gain) {
+					t.Fatalf("procs=%d strict=%v: Gain diverges", procs, strict)
+				}
+				for i := 0; i < cfg.p; i++ {
+					for j := 0; j < cfg.p; j++ {
+						gp, wp := got.Pool(int32(i), int32(j)), want.Pool(int32(i), int32(j))
+						if len(gp) != len(wp) {
+							t.Fatalf("procs=%d: pool(%d,%d) length diverges", procs, i, j)
+						}
+						for k := range gp {
+							if gp[k] != wp[k] {
+								t.Fatalf("procs=%d: pool(%d,%d)[%d] diverges", procs, i, j, k)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelGainsScratchReuse drives one parallel scratch across
+// different graph and partition sizes — arena reuse (including the P²
+// pair buckets) must never leak candidates between calls.
+func TestParallelGainsScratchReuse(t *testing.T) {
+	s := Scratch{Procs: 4}
+	for _, cfg := range []struct {
+		n, p int
+		seed int64
+	}{
+		{100, 6, 21}, {400, 3, 22}, {100, 8, 23}, {400, 3, 22},
+	} {
+		c, a, seeds := parallelFixture(t, cfg.n, cfg.p, cfg.seed)
+		got, err := s.GainsSeeded(c, a, false, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seq Scratch
+		want, err := seq.GainsSeeded(c, a, false, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.B, want.B) || !reflect.DeepEqual(got.Gain, want.Gain) {
+			t.Fatalf("n=%d p=%d: reuse diverges", cfg.n, cfg.p)
+		}
+	}
+}

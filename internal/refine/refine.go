@@ -23,6 +23,7 @@ import (
 	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/lp"
+	"repro/internal/par"
 	"repro/internal/partition"
 )
 
@@ -53,6 +54,15 @@ type cand struct {
 // ready to use; buffers grow to the largest graph seen and are reused, so
 // steady-state gain scans allocate nothing. The Candidates returned by
 // its methods are owned by the Scratch and invalidated by the next call.
+//
+// Procs > 1 switches GainsSeeded to its sharded parallel form (see
+// parallel.go): the deduped seed list is split into contiguous shards,
+// workers classify into private pair buckets, and the join concatenates
+// buckets in worker order before the total-order sort — so the produced
+// Candidates are bit-identical to the sequential scan's for every
+// worker count. Group, when non-nil, is the shared fork-join executor
+// (the engine passes its own so per-worker busy times roll up across
+// kernels); nil uses a private one.
 type Scratch struct {
 	cands   Candidates
 	buckets [][]cand
@@ -61,6 +71,15 @@ type Scratch struct {
 	sorter  candSorter
 	stamp   []uint32 // per-call vertex dedup marker (duplicate seeds)
 	gen     uint32
+
+	// Parallel state; see parallel.go.
+	Procs    int
+	Group    *par.Group
+	ownGroup par.Group
+	gws      []gainWorker
+	seedBuf  []graph.Vertex
+	shards   []par.Range
+	task     gainsTask
 }
 
 // candSorter orders candidates best gain first, vertex id as tiebreak — a
@@ -108,6 +127,9 @@ func (s *Scratch) Gains(g *graph.Graph, a *partition.Assignment, strict bool) (*
 func (s *Scratch) GainsSeeded(c *graph.CSR, a *partition.Assignment, strict bool, seeds []graph.Vertex) (*Candidates, error) {
 	if err := a.ValidateCSR(c); err != nil {
 		return nil, fmt.Errorf("refine: %w", err)
+	}
+	if s.Procs > 1 {
+		return s.gainsSeededPar(c, a, strict, seeds), nil
 	}
 	out := s.grow(c.Order(), a.P)
 	for _, v := range seeds {

@@ -47,6 +47,7 @@ type config struct {
 	refineRounds int
 	tolerance    int
 	batches      int
+	parallelism  int
 	observer     func(Event)
 }
 
@@ -175,6 +176,27 @@ func WithBatches(k int) Option {
 	}
 }
 
+// WithParallelism sets the worker count n ≥ 1 for the engine's sharded
+// multi-core kernels — the incremental boundary recompute, the layering
+// BFS level expansion and the refinement gain scan. The default is
+// runtime.GOMAXPROCS(0); n = 1 selects the exact sequential code path.
+//
+// Parallelism is purely a latency property: results are bit-identical
+// to the sequential engine's for every worker count (vertex work is
+// sharded deterministically and per-worker results merge in shard
+// order — fuzz-verified), and all phases that are not sharded (the LP
+// solves, the movers) run sequentially regardless. Per-worker busy
+// time is reported in [Stats.WorkerBusy].
+func WithParallelism(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("igp: WithParallelism(%d): workers must be ≥ 1", n)
+		}
+		c.parallelism = n
+		return nil
+	}
+}
+
 // WithObserver streams stage-level [Event]s to fn during Repartition —
 // phase spans, per-stage ε and movement, refinement rounds — for live
 // dashboards and tracing. fn runs synchronously on the repartitioning
@@ -212,11 +234,12 @@ func WithOptions(opt Options) Option {
 // coreOptions assembles the internal engine configuration.
 func (c *config) coreOptions() core.Options {
 	return core.Options{
-		Solver:     c.solver,
-		EpsilonMax: c.epsilonMax,
-		MaxStages:  c.maxStages,
-		Tolerance:  c.tolerance,
-		Refine:     c.refine,
+		Solver:      c.solver,
+		EpsilonMax:  c.epsilonMax,
+		MaxStages:   c.maxStages,
+		Tolerance:   c.tolerance,
+		Refine:      c.refine,
+		Parallelism: c.parallelism,
 		RefineOptions: refine.Options{
 			MaxRounds: c.refineRounds,
 			Solver:    c.solver,

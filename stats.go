@@ -61,6 +61,16 @@ type Stats struct {
 	// Elapsed is the wall clock of the whole pipeline, measured inside the
 	// engine (it excludes callers' option conversion).
 	Elapsed time.Duration
+	// Parallelism is the worker count the engine's sharded kernels ran
+	// with — the resolved [WithParallelism] value (1 = the sequential
+	// path).
+	Parallelism int
+	// WorkerBusy is the per-worker busy wall clock summed over every
+	// parallel region of the call (boundary sync, layering BFS, gain
+	// scans, pool sorts); index w is worker w. It is empty on the
+	// sequential path. Comparing the sum against Elapsed shows how much
+	// of the pipeline actually fanned out.
+	WorkerBusy []time.Duration
 }
 
 // convertStatsInto fills dst from the engine's internal stats, reusing
@@ -77,6 +87,7 @@ func convertStatsInto(dst *Stats, st *core.Stats) {
 	if st.Refine != nil {
 		rounds = append(rounds, st.Refine.RoundPivots...)
 	}
+	busy := append(dst.WorkerBusy[:0], st.WorkerBusy...)
 	*dst = Stats{
 		NewAssigned:  st.NewAssigned,
 		Stages:       len(st.Stages),
@@ -85,6 +96,8 @@ func convertStatsInto(dst *Stats, st *core.Stats) {
 		RoundPivots:  rounds,
 		BalanceMoved: st.BalanceMoved,
 		LPIterations: st.LPIterations,
+		Parallelism:  st.Parallelism,
+		WorkerBusy:   busy,
 		CutBefore:    st.CutBefore,
 		CutAfter:     st.CutAfter,
 		PhaseTimings: PhaseTimings{
