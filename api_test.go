@@ -439,3 +439,91 @@ func ExampleWithObserver() {
 	// Output:
 	// stage 1: ε=1 moved=2
 }
+
+// TestWithFullRefreshEquivalence: through the public API, the escape
+// hatch must change only the work accounting, never the result.
+func TestWithFullRefreshEquivalence(t *testing.T) {
+	gI, aI := grownMesh(t, 400, 8, 30, 23)
+	gF, aF := grownMesh(t, 400, 8, 30, 23)
+	eI, err := NewEngine(gI, WithRefine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eF, err := NewEngine(gF, WithRefine(), WithFullRefresh())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 3; step++ {
+		stI, errI := eI.Repartition(context.Background(), aI)
+		stF, errF := eF.Repartition(context.Background(), aF)
+		if (errI == nil) != (errF == nil) {
+			t.Fatalf("step %d: error mismatch: %v vs %v", step, errI, errF)
+		}
+		if errI != nil {
+			t.Skipf("step %d: infeasible: %v", step, errI)
+		}
+		for v := range aI.Part {
+			if aI.Part[v] != aF.Part[v] {
+				t.Fatalf("step %d: assignments diverge at %d", step, v)
+			}
+		}
+		if stI.CutAfter.Total != stF.CutAfter.Total || stI.CutAfter.TotalWeight != stF.CutAfter.TotalWeight {
+			t.Fatalf("step %d: cuts diverge: %+v vs %+v", step, stI.CutAfter, stF.CutAfter)
+		}
+		if stF.CSRPatched != 0 || stF.CutIncremental != 0 {
+			t.Fatalf("step %d: WithFullRefresh reported incremental work: %d/%d",
+				step, stF.CSRPatched, stF.CutIncremental)
+		}
+		if stI.CutIncremental == 0 {
+			t.Fatalf("step %d: incremental engine never served an incremental cut", step)
+		}
+		// Grow both meshes identically for the next warm call.
+		for i := 0; i < 5; i++ {
+			vI, vF := gI.AddVertex(1), gF.AddVertex(1)
+			if vI != vF {
+				t.Fatal("meshes desynchronized")
+			}
+			if err := gI.AddEdge(vI, vI-1, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := gF.AddEdge(vF, vF-1, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestPublicStatsClone: the public clone must deep-copy every
+// arena-backed field and survive the engine's next call.
+func TestPublicStatsClone(t *testing.T) {
+	g, a := grownMesh(t, 300, 4, 20, 29)
+	eng, err := NewEngine(g, WithRefine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.Repartition(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := st.Clone()
+	eps := append([]float64(nil), clone.EpsilonUsed...)
+	perPart := append([]float64(nil), clone.CutAfter.PerPart...)
+	cutAfter := clone.CutAfter.Total
+	// Overwrite the arena with a warm second call.
+	v := g.AddVertex(1)
+	if err := g.AddEdge(v, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Repartition(context.Background(), a); err != nil {
+		t.Fatal(err)
+	}
+	if clone.CutAfter.Total != cutAfter {
+		t.Fatal("clone scalar overwritten by the next call")
+	}
+	if fmt.Sprint(clone.EpsilonUsed) != fmt.Sprint(eps) {
+		t.Fatal("clone EpsilonUsed overwritten by the next call")
+	}
+	if fmt.Sprint(clone.CutAfter.PerPart) != fmt.Sprint(perPart) {
+		t.Fatal("clone PerPart overwritten by the next call")
+	}
+}

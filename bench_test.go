@@ -603,3 +603,35 @@ func BenchmarkGraphOps(b *testing.B) {
 		_ = g.RemoveVertex(v)
 	}
 }
+
+// BenchmarkEngine_SmallDeltaRepartition measures the warm engine
+// absorbing a one-edge delta per call: the journal-driven CSR patch,
+// the incremental boundary/size sync and the boundary-seeded cut
+// reports make this edit-proportional rather than O(n+m).
+func BenchmarkEngine_SmallDeltaRepartition(b *testing.B) {
+	f := meshA(b)
+	g := f.seq.Steps[0].Graph
+	eng := engine.New(g, engine.Options{})
+	a := f.base.Clone()
+	a.Grow(g.Order())
+	if _, err := eng.Repartition(context.Background(), a); err != nil {
+		b.Fatal(err)
+	}
+	u, v := Vertex(0), Vertex(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.HasEdge(u, v) {
+			if err := g.RemoveEdge(u, v); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if err := g.AddEdge(u, v, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := eng.Repartition(context.Background(), a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

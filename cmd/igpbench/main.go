@@ -30,13 +30,14 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "fig11", "table to regenerate: fig11|fig14|speedup|lpsize|baselines|refine|solvers|phases|all")
+	table := flag.String("table", "fig11", "table to regenerate: fig11|fig14|speedup|lpsize|baselines|refine|solvers|incremental|phases|all")
 	seed := flag.Int64("seed", 1994, "workload seed")
 	p := flag.Int("p", 32, "number of partitions")
 	ranks := flag.Int("ranks", 32, "simulated machine size")
 	solver := flag.String("solver", "bounded", "sequential simplex: "+strings.Join(igp.SolverNames(), "|"))
 	procs := flag.Int("procs", 0, "worker count for the engine's sharded kernels (0 = GOMAXPROCS, 1 = sequential)")
 	skipSim := flag.Bool("skipsim", false, "skip simulated parallel runs (no Time-p/Speedup)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (tables: incremental)")
 	flag.Parse()
 
 	// The registry resolves built-ins and any solver an out-of-tree build
@@ -109,6 +110,28 @@ func main() {
 		fmt.Print(bench.FormatSolvers(rows, cfg.P))
 		fmt.Println()
 	}
+	if run("incremental") {
+		ok = true
+		workloads := []struct {
+			name  string
+			baseN int
+		}{{"meshA", 1071}, {"meshB", 10166}}
+		var records []string
+		for _, wl := range workloads {
+			g, rows, err := bench.IncrementalEdits(cfg, wl.baseN, []int{1, 4, 16, 64, 256}, 5)
+			exitOn(err)
+			if *table == "incremental" && *jsonOut {
+				records = append(records, incrementalJSON(wl.name, g, rows, cfg.P))
+				continue
+			}
+			fmt.Print(bench.FormatIncremental(wl.name, g, rows, cfg.P))
+			fmt.Println()
+		}
+		if *table == "incremental" && *jsonOut {
+			fmt.Printf("[%s]\n", strings.Join(records, ", "))
+			return
+		}
+	}
 	if run("refine") {
 		ok = true
 		seq, err := mesh.PaperSequenceA(*seed)
@@ -127,6 +150,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "igpbench: unknown table %q\n", *table)
 		os.Exit(2)
 	}
+}
+
+// incrementalJSON renders one incremental-edit workload as a JSON
+// object, the record scripts/bench.sh folds into BENCH_<n>.json: warm
+// k-edit Repartition cost versus the FullRefresh baseline per delta
+// size, plus the delta-pipeline counters of the warm engine.
+func incrementalJSON(name string, g *igp.Graph, rows []bench.EditRow, p int) string {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = fmt.Sprintf(`{"k": %d, "warm_ns": %d, "full_ns": %d, "csr_patched": %d, "cut_incremental": %d}`,
+			r.K, r.WarmTime.Nanoseconds(), r.FullTime.Nanoseconds(), r.CSRPatched, r.CutIncremental)
+	}
+	return fmt.Sprintf(`{"workload": %q, "p": %d, "n": %d, "m": %d, "rows": [%s]}`,
+		name, p, g.NumVertices(), g.NumEdges(), strings.Join(parts, ", "))
 }
 
 func exitOn(err error) {

@@ -17,12 +17,14 @@ package bench
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"strings"
 	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/lp"
 	"repro/internal/mesh"
@@ -505,6 +507,127 @@ func FormatSolvers(rows []SolverRow, p int) string {
 	for _, r := range rows {
 		fmt.Fprintf(&b, "  %-10s %10s %7d %8d %6d %9v  %v\n",
 			r.Name, fmtDur(r.Time), r.Stages, r.LPIterations, r.Cut.Total, r.Balanced, r.RoundPivots)
+	}
+	return b.String()
+}
+
+// EditRow is one row of the incremental-edit workload table: the cost
+// of a warm Repartition after a k-edit delta, against the same delta on
+// a FullRefresh engine (the full-recomputation baseline).
+type EditRow struct {
+	K              int           // edits applied before the warm call
+	WarmTime       time.Duration // warm incremental engine, best of reps
+	FullTime       time.Duration // FullRefresh engine, best of reps
+	CSRPatched     int           // Stats.CSRPatched of the last warm call
+	CutIncremental int           // Stats.CutIncremental of the last warm call
+}
+
+// editBurst applies k deterministic small edits: vertex-weight jitter
+// and edge flips (remove + re-add at the same weight). These deltas
+// leave partition sizes intact, so the warm Repartition that follows
+// never enters a balancing stage and the measurement isolates exactly
+// the derived-state refresh the delta pipeline makes edit-proportional:
+// the journal-driven CSR patch, the incremental boundary/size sync and
+// the boundary-seeded cut reports.
+func editBurst(g *graph.Graph, rng *rand.Rand, k int) {
+	n := g.Order()
+	for i := 0; i < k; i++ {
+		v := graph.Vertex(rng.Intn(n))
+		if !g.Alive(v) {
+			continue
+		}
+		if i%3 == 0 {
+			g.SetVertexWeight(v, 1+rng.Float64())
+		} else if g.Degree(v) > 0 {
+			us := g.Neighbors(v)
+			u := us[rng.Intn(len(us))]
+			w, _ := g.EdgeWeight(v, u)
+			_ = g.RemoveEdge(v, u)
+			_ = g.AddEdge(v, u, w)
+		}
+	}
+}
+
+// IncrementalEdits measures warm Repartition cost as a function of
+// delta size on a ~baseN-vertex mesh workload (the paper's two mesh
+// families are baseN = 1071 and 10166): for each k, a long-lived
+// engine absorbs a k-edit burst and repartitions; a second engine with
+// Options.FullRefresh runs the identical script as the baseline. With
+// the delta pipeline, WarmTime should scale with k (sublinear in n+m)
+// while FullTime stays flat at the full-recomputation cost.
+func IncrementalEdits(cfg Config, baseN int, ks []int, reps int) (*graph.Graph, []EditRow, error) {
+	cfg = cfg.withDefaults()
+	if reps < 1 {
+		reps = 3
+	}
+	build := func(full bool) (*graph.Graph, *engine.Engine, *partition.Assignment, error) {
+		gen, err := mesh.NewGenerator(baseN, cfg.Seed)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		g := gen.Mesh().Graph()
+		part, err := spectral.RSB(g, cfg.P, spectral.Options{Seed: cfg.Seed})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		a := &partition.Assignment{Part: part, P: cfg.P}
+		e := engine.New(g, core.Options{Solver: cfg.Solver, Parallelism: cfg.Parallelism, FullRefresh: full})
+		if _, err := e.Repartition(context.Background(), a); err != nil {
+			return nil, nil, nil, err
+		}
+		return g, e, a, nil
+	}
+	gW, eW, aW, err := build(false)
+	if err != nil {
+		return nil, nil, err
+	}
+	gF, eF, aF, err := build(true)
+	if err != nil {
+		return nil, nil, err
+	}
+	rngW := rand.New(rand.NewSource(cfg.Seed ^ 0xed17))
+	rngF := rand.New(rand.NewSource(cfg.Seed ^ 0xed17))
+	var rows []EditRow
+	for _, k := range ks {
+		row := EditRow{K: k}
+		for rep := 0; rep < reps; rep++ {
+			editBurst(gW, rngW, k)
+			editBurst(gF, rngF, k)
+			t0 := time.Now()
+			stW, err := eW.Repartition(context.Background(), aW)
+			dW := time.Since(t0)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench: incremental k=%d: %w", k, err)
+			}
+			t0 = time.Now()
+			if _, err := eF.Repartition(context.Background(), aF); err != nil {
+				return nil, nil, fmt.Errorf("bench: full-refresh k=%d: %w", k, err)
+			}
+			dF := time.Since(t0)
+			if rep == 0 || dW < row.WarmTime {
+				row.WarmTime = dW
+			}
+			if rep == 0 || dF < row.FullTime {
+				row.FullTime = dF
+			}
+			row.CSRPatched = stW.CSRPatched
+			row.CutIncremental = stW.CutIncremental
+		}
+		rows = append(rows, row)
+	}
+	return gW, rows, nil
+}
+
+// FormatIncremental renders the incremental-edit table.
+func FormatIncremental(name string, g *graph.Graph, rows []EditRow, p int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Warm k-edit Repartition cost vs delta size (%s, |V|=%d |E|=%d, P=%d)\n",
+		name, g.NumVertices(), g.NumEdges(), p)
+	fmt.Fprintf(&b, "  %6s %12s %12s %9s %9s %8s\n", "k", "Warm", "FullRefresh", "Patched", "IncCuts", "Ratio")
+	for _, r := range rows {
+		ratio := float64(r.FullTime) / float64(r.WarmTime)
+		fmt.Fprintf(&b, "  %6d %12s %12s %9d %9d %7.1fx\n",
+			r.K, fmtDur(r.WarmTime), fmtDur(r.FullTime), r.CSRPatched, r.CutIncremental, ratio)
 	}
 	return b.String()
 }

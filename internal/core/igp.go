@@ -17,11 +17,15 @@
 //     (§2.4, package refine) — the paper's IGPR variant.
 //
 // The phase machinery itself lives in package engine, which owns the
-// long-lived state (CSR snapshots, the incremental boundary set, scratch
-// arenas) that makes repeated repartitioning cheap. This package keeps
+// long-lived state (journal-patched CSR snapshots, the incremental
+// boundary/size/cut tracker, the pending-unassigned set that seeds a
+// delta-aware phase 1, scratch arenas) that makes repeated
+// repartitioning cost work proportional to the edit. This package keeps
 // the one-shot entry points: each Repartition call here builds a fresh
-// engine, so callers that repartition the same graph repeatedly should
-// hold an engine (or the igp.Engine facade) instead.
+// engine — paying full rebuilds of all derived state — so callers that
+// repartition the same graph repeatedly should hold an engine (or the
+// igp.Engine facade) instead. Options.FullRefresh forces those full
+// rebuilds on every call of a held engine too (bit-identical results).
 package core
 
 import (

@@ -48,6 +48,7 @@ import (
 	"fmt"
 	"reflect"
 	"runtime"
+	"slices"
 	"time"
 
 	"repro/internal/balance"
@@ -64,6 +65,10 @@ import (
 // (even maximally relaxed LPs stay infeasible). The paper's remedy is to
 // repartition from scratch or add the new vertices in several batches.
 var ErrNeedRepartition = errors.New("core: incremental balance infeasible; repartition from scratch")
+
+// errNoOldVertices reports a phase-1 precondition failure: incremental
+// assignment needs at least one previously assigned vertex to grow from.
+var errNoOldVertices = errors.New("core: assign: no previously assigned vertices; use a from-scratch partitioner first")
 
 // Options configures an Engine (and the core.Repartition wrapper).
 type Options struct {
@@ -89,11 +94,21 @@ type Options struct {
 	// Repartition (see Event for the ordering contract).
 	Observer func(Event)
 	// Parallelism is the worker count for the engine's sharded kernels:
-	// the incremental boundary recompute, the layering BFS and the
-	// refinement gain scan. 0 means runtime.GOMAXPROCS(0); 1 selects the
-	// exact sequential code path. Results are bit-identical for every
-	// value — parallelism is purely a latency property.
+	// the incremental boundary recompute, the phase 1 nearest-labeled
+	// BFS, the layering BFS and the refinement gain scan. 0 means
+	// runtime.GOMAXPROCS(0); 1 selects the exact sequential code path.
+	// Results are bit-identical for every value — parallelism is purely
+	// a latency property.
 	Parallelism int
+	// FullRefresh disables every delta shortcut in the derived-state
+	// pipeline: CSR snapshots are fully rebuilt instead of patched from
+	// the edit journal, the boundary set is rebuilt from scratch on
+	// every sync, cutset statistics come from partition.Cut's full arc
+	// rescan, and phase 1 runs the one-shot Assign oracle. Results are
+	// bit-identical either way (the incremental paths are fuzz-verified
+	// against these oracles); the switch exists as an escape hatch and a
+	// divergence-debugging lever.
+	FullRefresh bool
 }
 
 func (o Options) solver() lp.Solver {
@@ -166,6 +181,36 @@ type Stats struct {
 	// scans, pool sorts); index w is worker w. Empty on the sequential
 	// path. Like Stages it is an arena reused across calls.
 	WorkerBusy []time.Duration
+	// CSRPatched counts snapshot refreshes during this call that were
+	// served by the journal-driven partial CSR patch (only touched rows
+	// rewritten) rather than a full rebuild. On a warm engine absorbing
+	// small edits it equals the number of refreshes; zero means every
+	// refresh rebuilt (first call, journal overflow, slot overflow, high
+	// churn, or Options.FullRefresh).
+	CSRPatched int
+	// CutIncremental counts cutset evaluations during this call served
+	// from the maintained boundary set (cost proportional to the
+	// boundary) instead of partition.Cut's full arc rescan. It covers
+	// the CutBefore/CutAfter reports and every refinement round's cut
+	// poll.
+	CutIncremental int
+}
+
+// Clone returns a deep copy of the Stats, detached from the engine's
+// arenas: unlike the value returned by Repartition — which is
+// overwritten by the engine's next call — a clone stays valid forever.
+func (s *Stats) Clone() *Stats {
+	c := *s
+	c.Stages = append([]StageStats(nil), s.Stages...)
+	c.WorkerBusy = append([]time.Duration(nil), s.WorkerBusy...)
+	c.CutBefore.PerPart = append([]float64(nil), s.CutBefore.PerPart...)
+	c.CutAfter.PerPart = append([]float64(nil), s.CutAfter.PerPart...)
+	if s.Refine != nil {
+		r := *s.Refine
+		r.RoundPivots = append([]int(nil), s.Refine.RoundPivots...)
+		c.Refine = &r
+	}
+	return &c
 }
 
 // TotalTime sums the phase times.
@@ -209,8 +254,37 @@ type Engine struct {
 	inBoundary []bool
 	boundary   []graph.Vertex // exact list of the inBoundary members
 	listDirty  bool           // boundary contains stale entries to compact
-	stamp      []uint32       // per-sync recompute dedup marker
-	gen        uint32
+	stamps     par.Stamps     // per-sync recompute dedup / claim marker
+
+	// Incremental partition-size and cut tracker: partSizes[q] is the
+	// live assigned-vertex count of partition q as of the last sync
+	// (exactly partition.SizesInto's definition), maintained through the
+	// same journal/diff re-examination that keeps the boundary exact;
+	// sizeAttr[v] is the partition v is currently counted under (-1 =
+	// none). Cut reports are then served from the sorted boundary set
+	// (partition.CutSeededInto) instead of a full arc rescan.
+	trackedP  int // partition count the tracker was built for
+	partSizes []int
+	sizeAttr  []int32
+	cutBuf    []graph.Vertex // sorted-boundary scratch for cut reports
+	cutPPB    []float64      // PerPart arena for Stats.CutBefore
+	cutPPA    []float64      // PerPart arena for Stats.CutAfter
+	cutPPQ    []float64      // PerPart arena for the Cut accessor
+
+	// Running delta-pipeline counters since the engine was created;
+	// Repartition reports the per-call delta in Stats.CSRPatched /
+	// Stats.CutIncremental, so work done through the public accessors
+	// between calls never mutates a previously returned Stats arena.
+	csrPatched     int
+	cutIncremental int
+
+	// Pending-unassigned tracker feeding the delta-aware phase 1: every
+	// vertex observed live-but-Unassigned (or dead with a stale
+	// assignment) by a sync re-examination, carried until the next
+	// assign call consumes it. See assign.go.
+	pendingNew []graph.Vertex
+	inPending  []bool
+	asg        assignScratch
 
 	// Scratch arenas.
 	lay      layering.Scratch
@@ -311,33 +385,57 @@ func (e *Engine) growTo(n int) {
 	for len(e.inBoundary) < n {
 		e.inBoundary = append(e.inBoundary, false)
 	}
-	for len(e.stamp) < n {
-		e.stamp = append(e.stamp, 0)
+	for len(e.sizeAttr) < n {
+		e.sizeAttr = append(e.sizeAttr, -1)
 	}
+	for len(e.inPending) < n {
+		e.inPending = append(e.inPending, false)
+	}
+	e.stamps.Grow(n)
 }
 
-// sync brings the CSR snapshot and boundary set up to date with the graph
-// and the given assignment. Cost is O(changed region) plus one O(n)
-// assignment diff (and an O(n+m) snapshot copy when the graph mutated);
-// nothing is allocated once the arenas have grown.
+// growSizes readies the per-partition size counters for p partitions.
+func (e *Engine) growSizes(p int) {
+	if cap(e.partSizes) < p {
+		e.partSizes = make([]int, p)
+	}
+	e.partSizes = e.partSizes[:p]
+}
+
+// sync brings the CSR snapshot, the boundary set and the size/cut
+// tracker up to date with the graph and the given assignment. Cost is
+// O(changed region) plus one O(n) assignment diff; the snapshot refresh
+// is journal-driven (graph.RefreshCSR), so it too rewrites only the
+// touched rows unless the journal overflowed or churn forced a rebuild.
+// Nothing is allocated once the arenas have grown.
 func (e *Engine) sync(a *partition.Assignment) {
 	n := e.g.Order()
 	a.Grow(n)
 	if !e.synced || e.g.Epoch() != e.epoch {
 		touched, exact := e.g.TouchedSince(e.epoch, e.touchBuf[:0])
 		e.touchBuf = touched[:0]
-		e.csr = e.g.ToCSRInto(e.csr)
+		if e.opt.FullRefresh {
+			e.csr = e.g.RebuildCSRInto(e.csr)
+			exact = false // and rebuild the boundary/size tracker too
+		} else {
+			var patched bool
+			e.csr, patched = e.g.RefreshCSR(e.csr)
+			if patched {
+				e.csrPatched++
+			}
+		}
 		wasSynced := e.synced
 		e.epoch = e.g.Epoch()
 		e.synced = true
-		if !wasSynced || !exact {
+		if !wasSynced || !exact || a.P != e.trackedP {
 			e.rebuildBoundary(a)
 			return
 		}
 		e.growTo(n)
-		e.nextGen()
+		e.stamps.Next()
 		// Structurally touched vertices re-examine themselves; an edge flip
-		// cannot change a non-endpoint's membership.
+		// cannot change a non-endpoint's membership (size attribution and
+		// pending collection ride the same re-examination).
 		for _, v := range touched {
 			e.recompute(v, a)
 		}
@@ -345,33 +443,30 @@ func (e *Engine) sync(a *partition.Assignment) {
 		e.finishSync(a)
 		return
 	}
+	if a.P != e.trackedP {
+		e.rebuildBoundary(a)
+		return
+	}
 	// Graph unchanged: only assignment moves can alter the boundary.
 	e.growTo(n)
-	e.nextGen()
+	e.stamps.Next()
 	e.diffAssignment(a)
 	e.finishSync(a)
 }
 
-// nextGen advances the per-sync recompute stamp generation, clearing the
-// stamps when the counter wraps so a stamp from exactly 2^32 syncs ago
-// cannot masquerade as current.
-func (e *Engine) nextGen() {
-	e.gen++
-	if e.gen == 0 {
-		for i := range e.stamp {
-			e.stamp[i] = 0
-		}
-		e.gen = 1
-	}
-}
-
-// rebuildBoundary recomputes the boundary set from scratch over the
-// current snapshot. With Parallelism > 1 the scan is sharded by arc
-// count; per-worker lists merged in shard order reproduce the
-// sequential ascending-id layout exactly (see parallel.go).
+// rebuildBoundary recomputes the boundary set, the per-partition size
+// counters and the pending-unassigned set from scratch over the current
+// snapshot. With Parallelism > 1 the scan is sharded by arc count;
+// per-worker lists merged in shard order reproduce the sequential
+// ascending-id layout exactly (see parallel.go).
 func (e *Engine) rebuildBoundary(a *partition.Assignment) {
 	n := e.csr.Order()
 	e.growTo(n)
+	e.growSizes(a.P)
+	e.trackedP = a.P
+	for q := range e.partSizes {
+		e.partSizes[q] = 0
+	}
 	e.boundary = e.boundary[:0]
 	e.listDirty = false
 	if e.procs > 1 && n >= parBoundaryMin {
@@ -383,9 +478,65 @@ func (e *Engine) rebuildBoundary(a *partition.Assignment) {
 			if member {
 				e.boundary = append(e.boundary, graph.Vertex(v))
 			}
+			want := e.attrOf(graph.Vertex(v), a)
+			e.sizeAttr[v] = want
+			if want >= 0 {
+				e.partSizes[want]++
+			}
+			e.collectPending(graph.Vertex(v), a, &e.pendingNew)
 		}
 	}
 	copy(e.prevPart[:n], a.Part[:n])
+}
+
+// attrOf returns the partition v should be size-counted under: its
+// assigned partition when live, none otherwise (partition.SizesInto's
+// exact rule).
+func (e *Engine) attrOf(v graph.Vertex, a *partition.Assignment) int32 {
+	if !e.csr.Live[v] {
+		return -1
+	}
+	if p := a.Part[v]; p >= 0 {
+		return p
+	}
+	return -1
+}
+
+// moveAttr moves v's size attribution to its current partition,
+// applying the count adjustment to sizes — e.partSizes on the
+// sequential path, a worker-private delta array on the parallel one, so
+// the attribution rule has exactly one copy. The caller must own v
+// (sequential pass, disjoint shard, or won claim).
+func (e *Engine) moveAttr(v graph.Vertex, a *partition.Assignment, sizes []int) {
+	want := e.attrOf(v, a)
+	if old := e.sizeAttr[v]; want != old {
+		if old >= 0 {
+			sizes[old]--
+		}
+		if want >= 0 {
+			sizes[want]++
+		}
+		e.sizeAttr[v] = want
+	}
+}
+
+// collectPending records v into dst (e.pendingNew on the sequential
+// path, a worker-private buffer on the parallel one) for the next
+// delta-aware assign call when it needs phase-1 attention: live but
+// Unassigned (a new vertex), or dead with a stale assignment left
+// behind (to be normalized). The flag is cleared when assign consumes
+// the entry. The caller must own v (sequential pass, disjoint shard, or
+// won claim).
+func (e *Engine) collectPending(v graph.Vertex, a *partition.Assignment, dst *[]graph.Vertex) {
+	if e.inPending[v] {
+		return
+	}
+	live := e.csr.Live[v]
+	p := a.Part[v]
+	if (live && p < 0) || (!live && p >= 0) {
+		e.inPending[v] = true
+		*dst = append(*dst, v)
+	}
 }
 
 // isBoundary reports whether v is live with ≥1 foreign neighbor.
@@ -402,12 +553,14 @@ func (e *Engine) isBoundary(v graph.Vertex, a *partition.Assignment) bool {
 	return false
 }
 
-// recompute re-evaluates v's boundary membership, at most once per sync.
+// recompute re-evaluates v's boundary membership, size attribution and
+// pending status, at most once per sync.
 func (e *Engine) recompute(v graph.Vertex, a *partition.Assignment) {
-	if e.stamp[v] == e.gen {
+	if !e.stamps.TryMark(v) {
 		return
 	}
-	e.stamp[v] = e.gen
+	e.moveAttr(v, a, e.partSizes)
+	e.collectPending(v, a, &e.pendingNew)
 	now := e.isBoundary(v, a)
 	if now == e.inBoundary[v] {
 		return
@@ -458,6 +611,44 @@ func (e *Engine) finishSync(a *partition.Assignment) {
 	copy(e.prevPart[:n], a.Part[:n])
 }
 
+// cutStatsInto syncs and fills dst with cutset statistics served from
+// the maintained boundary set — bit-identical to partition.Cut(e.g, a),
+// floats included, at O(Σ deg(boundary)) cost (see CutSeededInto).
+// perPart is the engine-owned PerPart arena for this report slot.
+func (e *Engine) cutStatsInto(dst *partition.CutStats, perPart *[]float64, a *partition.Assignment) {
+	e.sync(a)
+	e.cutBuf = append(e.cutBuf[:0], e.boundary...)
+	slices.Sort(e.cutBuf)
+	*perPart = partition.CutSeededInto(dst, *perPart, e.csr, a, e.cutBuf, e.partSizes)
+	e.cutIncremental++
+}
+
+// cutWeight syncs and returns the current total cut weight from the
+// boundary set — the refinement driver's per-round poll, bit-identical
+// to partition.Cut(e.g, a).TotalWeight.
+func (e *Engine) cutWeight(a *partition.Assignment) float64 {
+	e.sync(a)
+	e.cutBuf = append(e.cutBuf[:0], e.boundary...)
+	slices.Sort(e.cutBuf)
+	e.cutIncremental++
+	return partition.CutSeededWeight(e.csr, a, e.cutBuf)
+}
+
+// Cut syncs and reports cutset statistics for the engine's graph under
+// a, maintained incrementally (or via the full rescan when
+// Options.FullRefresh is set). The result's PerPart is an engine-owned
+// arena overwritten by the next Cut call (a previously returned
+// Stats.CutBefore/CutAfter is not affected); the scalar fields are
+// plain values. It is bit-identical to partition.Cut(e.Graph(), a).
+func (e *Engine) Cut(a *partition.Assignment) partition.CutStats {
+	if e.opt.FullRefresh {
+		return partition.Cut(e.g, a)
+	}
+	var st partition.CutStats
+	e.cutStatsInto(&st, &e.cutPPQ, a)
+	return st
+}
+
 // Layer runs the boundary-seeded layering kernel over the engine's
 // snapshot. The result is owned by the engine's scratch and invalidated by
 // the next Layer call.
@@ -486,16 +677,21 @@ func (e *Engine) Gains(a *partition.Assignment, strict bool) (*refine.Candidates
 // assignment is never left mid-move — every vertex stays validly
 // assigned (though possibly unbalanced) after an abort.
 //
-// The returned Stats is an arena owned by the engine: it is overwritten
-// by the next Repartition call. Copy it out to retain it.
+// The returned *Stats is an arena owned by the engine: it is
+// overwritten by the next Repartition call. Use Stats.Clone to retain
+// one (a shallow copy is not enough — Stages, WorkerBusy, the cut
+// PerPart vectors and Refine all point into the arena).
 func (e *Engine) Repartition(ctx context.Context, a *partition.Assignment) (*Stats, error) {
 	e.stats.reset()
 	st := &e.stats
 	opt := e.opt
 	e.group.Reset()
+	basePatched, baseCutInc := e.csrPatched, e.cutIncremental
 	tStart := time.Now()
 	defer func() {
 		st.Elapsed = time.Since(tStart)
+		st.CSRPatched = e.csrPatched - basePatched
+		st.CutIncremental = e.cutIncremental - baseCutInc
 		for _, sg := range st.Stages {
 			st.LPIterations += sg.LPPivots
 		}
@@ -513,7 +709,7 @@ func (e *Engine) Repartition(ctx context.Context, a *partition.Assignment) (*Sta
 	}
 	t0 := time.Now()
 	e.emit(Event{Kind: EventStart, Phase: PhaseAssign})
-	assigned, fallbacks, err := Assign(e.g, a)
+	assigned, fallbacks, err := e.assign(a)
 	if err != nil {
 		e.emit(Event{Kind: EventEnd, Phase: PhaseAssign, Elapsed: time.Since(t0)})
 		return st, err
@@ -522,7 +718,11 @@ func (e *Engine) Repartition(ctx context.Context, a *partition.Assignment) (*Sta
 	st.ClusterFallbacks = fallbacks
 	st.AssignTime = time.Since(t0)
 	e.emit(Event{Kind: EventEnd, Phase: PhaseAssign, Moved: assigned, Elapsed: st.AssignTime})
-	st.CutBefore = partition.Cut(e.g, a)
+	if e.opt.FullRefresh {
+		st.CutBefore = partition.Cut(e.g, a)
+	} else {
+		e.cutStatsInto(&st.CutBefore, &e.cutPPB, a)
+	}
 
 	if cap(e.targets) < a.P {
 		e.targets = make([]int, a.P)
@@ -606,7 +806,11 @@ func (e *Engine) Repartition(ctx context.Context, a *partition.Assignment) (*Sta
 			return st, err
 		}
 	}
-	st.CutAfter = partition.Cut(e.g, a)
+	if e.opt.FullRefresh {
+		st.CutAfter = partition.Cut(e.g, a)
+	} else {
+		e.cutStatsInto(&st.CutAfter, &e.cutPPA, a)
+	}
 	return st, nil
 }
 
@@ -655,11 +859,14 @@ func balanceStage(ctx context.Context, a *partition.Assignment, lay *layering.Re
 }
 
 // runRefine is the engine's phase 4: the shared refine.Drive loop fed
-// with boundary-seeded gain scans, formulating into the engine's reused
-// LP arena and keeping the best-seen assignment in the engine's reused
-// best-part arena.
+// with boundary-seeded gain scans and boundary-seeded per-round cut
+// polls, formulating into the engine's reused LP arena and keeping the
+// best-seen assignment in the engine's reused best-part arena.
 func (e *Engine) runRefine(ctx context.Context, a *partition.Assignment, opt refine.Options) (*refine.Stats, error) {
 	opt.Arena = &e.refArena
+	if !e.opt.FullRefresh {
+		opt.CutWeight = func() float64 { return e.cutWeight(a) }
+	}
 	st, best, err := refine.Drive(ctx, e.g, a, opt, func(strict bool) (*refine.Candidates, error) {
 		return e.Gains(a, strict)
 	}, e.bestPart)
@@ -683,7 +890,7 @@ func Assign(g *graph.Graph, a *partition.Assignment) (assigned, clusterFallbacks
 		}
 	}
 	if !hasOld {
-		return 0, 0, errors.New("core: assign: no previously assigned vertices; use a from-scratch partitioner first")
+		return 0, 0, errNoOldVertices
 	}
 	// Clear assignments of dead vertices (deleted since last time).
 	for v := 0; v < g.Order(); v++ {

@@ -469,3 +469,228 @@ func TestEngineWarmSolverActuallyWarms(t *testing.T) {
 		t.Fatalf("engine session never warm-started (warm=%d cold=%d)", warm, cold)
 	}
 }
+
+// randomGrowthEdit applies one random edit biased toward phase-1 work:
+// new vertices are left Unassigned (where randomEdit assigns them), and
+// existing vertices are sometimes explicitly unassigned — exactly the
+// deltas the delta-aware assign must absorb.
+func randomGrowthEdit(g *graph.Graph, a *partition.Assignment, rng *rand.Rand) {
+	switch rng.Intn(6) {
+	case 0, 1: // add an unassigned vertex hooked to an existing one
+		v := g.AddVertex(1)
+		a.Grow(g.Order())
+		for tries := 0; tries < 10; tries++ {
+			u := graph.Vertex(rng.Intn(g.Order()))
+			if g.Alive(u) && u != v {
+				_ = g.AddEdge(v, u, 1)
+				return
+			}
+		}
+	case 2: // add an isolated unassigned vertex (future orphan cluster)
+		g.AddVertex(1)
+		a.Grow(g.Order())
+	case 3: // unassign an existing vertex
+		v := graph.Vertex(rng.Intn(g.Order()))
+		if g.Alive(v) {
+			a.Part[v] = partition.Unassigned
+		}
+	case 4: // remove a vertex
+		v := graph.Vertex(rng.Intn(g.Order()))
+		if g.Alive(v) && g.NumVertices() > 8 {
+			_ = g.RemoveVertex(v)
+			// Leave the stale assignment behind: the engine must
+			// normalize it, exactly as the oracle does.
+		}
+	default: // add an edge
+		u := graph.Vertex(rng.Intn(g.Order()))
+		v := graph.Vertex(rng.Intn(g.Order()))
+		g.AddEdgeIfAbsent(u, v, 1)
+	}
+}
+
+// TestAssignMatchesOracle drives the delta-aware phase 1 and the
+// one-shot Assign oracle through the same growth-edit sequences and
+// requires identical assignments, counts and errors.
+func TestAssignMatchesOracle(t *testing.T) {
+	for _, procs := range []int{1, 3} {
+		gE, aE := editableGraph(t, 300, 6, 71)
+		gO := gE.Clone()
+		aO := aE.Clone()
+		e := New(gE, Options{Parallelism: procs})
+		rngE := rand.New(rand.NewSource(73))
+		rngO := rand.New(rand.NewSource(73))
+		for iter := 0; iter < 80; iter++ {
+			edits := rngE.Intn(6)
+			if rngO.Intn(6) != edits { // keep the two streams in lockstep
+				t.Fatal("rng streams desynchronized")
+			}
+			for k := 0; k <= edits; k++ {
+				randomGrowthEdit(gE, aE, rngE)
+				randomGrowthEdit(gO, aO, rngO)
+			}
+			asgE, fbE, errE := e.assign(aE)
+			asgO, fbO, errO := Assign(gO, aO)
+			if (errE == nil) != (errO == nil) {
+				t.Fatalf("procs=%d iter %d: error mismatch: %v vs %v", procs, iter, errE, errO)
+			}
+			if asgE != asgO || fbE != fbO {
+				t.Fatalf("procs=%d iter %d: counts diverge: assigned %d/%d fallbacks %d/%d",
+					procs, iter, asgE, asgO, fbE, fbO)
+			}
+			if !reflect.DeepEqual(aE.Part, aO.Part) {
+				for v := range aE.Part {
+					if aE.Part[v] != aO.Part[v] {
+						t.Fatalf("procs=%d iter %d: assignment diverges at %d: %d vs %d",
+							procs, iter, v, aE.Part[v], aO.Part[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// sameCut requires two cut reports to agree exactly — floats included,
+// which the boundary-seeded computation guarantees by performing the
+// oracle's additions in the oracle's order.
+func sameCut(t *testing.T, ctx string, got, want partition.CutStats) {
+	t.Helper()
+	if got.Total != want.Total || got.TotalWeight != want.TotalWeight ||
+		got.Max != want.Max || got.Min != want.Min {
+		t.Fatalf("%s: cut scalars diverge: got {%d %g %g %g} want {%d %g %g %g}",
+			ctx, got.Total, got.TotalWeight, got.Max, got.Min,
+			want.Total, want.TotalWeight, want.Max, want.Min)
+	}
+	if len(got.PerPart) != len(want.PerPart) {
+		t.Fatalf("%s: PerPart lengths %d vs %d", ctx, len(got.PerPart), len(want.PerPart))
+	}
+	for q := range got.PerPart {
+		if got.PerPart[q] != want.PerPart[q] {
+			t.Fatalf("%s: PerPart[%d] = %g, want %g", ctx, q, got.PerPart[q], want.PerPart[q])
+		}
+	}
+}
+
+// TestIncrementalCutExact checks the boundary-seeded cut against the
+// brute-force partition.Cut oracle across random edit sequences, with
+// fractional edge weights so float equality is actually stressed.
+func TestIncrementalCutExact(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		g, a := editableGraph(t, 350, 7, 83)
+		rng := rand.New(rand.NewSource(89))
+		// Perturb edge weights so cut sums exercise non-integral floats.
+		for v := 0; v < g.Order(); v++ {
+			for _, u := range g.Neighbors(graph.Vertex(v)) {
+				if graph.Vertex(v) < u {
+					_ = g.RemoveEdge(graph.Vertex(v), u)
+					_ = g.AddEdge(graph.Vertex(v), u, 0.1+rng.Float64())
+				}
+			}
+		}
+		e := New(g, Options{Parallelism: procs})
+		for iter := 0; iter < 120; iter++ {
+			for k := 0; k <= rng.Intn(4); k++ {
+				randomEdit(g, a, rng)
+			}
+			sameCut(t, "incremental vs oracle", e.Cut(a), partition.Cut(g, a))
+		}
+	}
+}
+
+// TestFullRefreshEquivalence runs the same edit + Repartition sequence
+// through a default engine and a FullRefresh engine: the escape hatch
+// must change nothing but the work done.
+func TestFullRefreshEquivalence(t *testing.T) {
+	gI, aI := editableGraph(t, 300, 6, 91)
+	gF := gI.Clone()
+	aF := aI.Clone()
+	eI := New(gI, Options{Refine: true})
+	eF := New(gF, Options{Refine: true, FullRefresh: true})
+	rngI := rand.New(rand.NewSource(97))
+	rngF := rand.New(rand.NewSource(97))
+	for step := 0; step < 5; step++ {
+		for k := 0; k < 8; k++ {
+			randomGrowthEdit(gI, aI, rngI)
+			randomGrowthEdit(gF, aF, rngF)
+		}
+		stI, errI := eI.Repartition(context.Background(), aI)
+		stF, errF := eF.Repartition(context.Background(), aF)
+		if (errI == nil) != (errF == nil) {
+			t.Fatalf("step %d: error mismatch: %v vs %v", step, errI, errF)
+		}
+		if errI != nil {
+			t.Skipf("step %d: repartition infeasible on this sequence: %v", step, errI)
+		}
+		if !reflect.DeepEqual(aI.Part, aF.Part) {
+			t.Fatalf("step %d: FullRefresh diverges from incremental", step)
+		}
+		sameCut(t, "incremental CutAfter vs FullRefresh", stI.CutAfter, stF.CutAfter)
+		if stF.CSRPatched != 0 || stF.CutIncremental != 0 {
+			t.Fatalf("step %d: FullRefresh reported incremental work: patched=%d cutInc=%d",
+				step, stF.CSRPatched, stF.CutIncremental)
+		}
+		if step > 0 && stI.CSRPatched == 0 {
+			t.Fatalf("step %d: warm incremental engine never patched its snapshot", step)
+		}
+		if stI.CutIncremental == 0 {
+			t.Fatalf("step %d: incremental engine never served an incremental cut", step)
+		}
+	}
+}
+
+// TestSteadyStateCutAllocs: the incremental cut report on a warm engine
+// must not allocate.
+func TestSteadyStateCutAllocs(t *testing.T) {
+	g, a := editableGraph(t, 500, 8, 5)
+	e := New(g, Options{})
+	_ = e.Cut(a)
+	allocs := testing.AllocsPerRun(20, func() { _ = e.Cut(a) })
+	if allocs > 0 {
+		t.Fatalf("steady-state incremental cut allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestStatsClone: the clone must deep-copy every arena-backed field and
+// survive the engine's next call unchanged.
+func TestStatsClone(t *testing.T) {
+	g, a := editableGraph(t, 200, 4, 17)
+	e := New(g, Options{Refine: true})
+	// Unbalance so stages actually run.
+	moved := 0
+	for v := range a.Part {
+		if a.Part[v] == 0 && moved < 15 {
+			a.Part[v] = 1
+			moved++
+		}
+	}
+	st, err := e.Repartition(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := st.Clone()
+	if !reflect.DeepEqual(clone, st) {
+		t.Fatal("clone differs from the original")
+	}
+	// Overwrite the arena with a second call; the clone must not move.
+	snapshot := *clone
+	stages := append([]StageStats(nil), clone.Stages...)
+	perPart := append([]float64(nil), clone.CutAfter.PerPart...)
+	for k := 0; k < 10; k++ {
+		randomEdit(g, a, rand.New(rand.NewSource(int64(k))))
+	}
+	if _, err := e.Repartition(context.Background(), a); err == nil || err != nil {
+		// Either outcome is fine; only the clone's stability matters.
+		_ = err
+	}
+	if !reflect.DeepEqual(clone.Stages, stages) {
+		t.Fatal("clone's Stages were overwritten by the next call")
+	}
+	if !reflect.DeepEqual(clone.CutAfter.PerPart, perPart) {
+		t.Fatal("clone's CutAfter.PerPart was overwritten by the next call")
+	}
+	if clone.NewAssigned != snapshot.NewAssigned || clone.BalanceMoved != snapshot.BalanceMoved {
+		t.Fatal("clone's scalars were overwritten by the next call")
+	}
+	if clone.Refine != nil && st.Refine != nil && clone.Refine == st.Refine {
+		t.Fatal("clone shares the Refine pointer with the arena")
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"context"
 	"math/rand"
 	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
 )
 
 // FuzzBoundaryExact is the fuzz form of the PR 1 boundary-exactness
@@ -53,8 +56,16 @@ func FuzzParallelEquivalence(f *testing.F) {
 		rngSeq := rand.New(rand.NewSource(seed ^ 0xfa11))
 		rngPar := rand.New(rand.NewSource(seed ^ 0xfa11))
 		for i := 0; i < int(edits); i++ {
-			randomEdit(gSeq, aSeq, rngSeq)
-			randomEdit(gPar, aPar, rngPar)
+			// Alternate plain and growth edits so the delta-aware phase 1
+			// (unassigned vertices, orphan clusters) is part of the
+			// parallel-equivalence contract too.
+			if i%2 == 0 {
+				randomEdit(gSeq, aSeq, rngSeq)
+				randomEdit(gPar, aPar, rngPar)
+			} else {
+				randomGrowthEdit(gSeq, aSeq, rngSeq)
+				randomGrowthEdit(gPar, aPar, rngPar)
+			}
 		}
 
 		requireSameBoundary(t, ePar.Boundary(aPar), bruteBoundary(gPar, aPar))
@@ -92,5 +103,82 @@ func FuzzParallelEquivalence(f *testing.F) {
 					v, aSeq.Part[v], aPar.Part[v], workers)
 			}
 		}
+	})
+}
+
+// requireSameSnapshot compares a snapshot's logical content against a
+// fresh full rebuild: every row, weight, liveness flag and count must be
+// identical (slack layout is free to differ).
+func requireSameSnapshot(t *testing.T, got, want *graph.CSR) {
+	t.Helper()
+	if got.Order() != want.Order() || got.NumV != want.NumV || got.NumE != want.NumE {
+		t.Fatalf("snapshot shape diverges: order %d/%d numV %d/%d numE %d/%d",
+			got.Order(), want.Order(), got.NumV, want.NumV, got.NumE, want.NumE)
+	}
+	for v := 0; v < want.Order(); v++ {
+		if got.Live[v] != want.Live[v] || got.VW[v] != want.VW[v] {
+			t.Fatalf("vertex %d: live/weight diverge", v)
+		}
+		gr, wr := got.Row(graph.Vertex(v)), want.Row(graph.Vertex(v))
+		gw, ww := got.RowWeights(graph.Vertex(v)), want.RowWeights(graph.Vertex(v))
+		if len(gr) != len(wr) {
+			t.Fatalf("vertex %d: degree %d, want %d", v, len(gr), len(wr))
+		}
+		for i := range wr {
+			if gr[i] != wr[i] || gw[i] != ww[i] {
+				t.Fatalf("vertex %d arc %d: (%d,%g), want (%d,%g)", v, i, gr[i], gw[i], wr[i], ww[i])
+			}
+		}
+	}
+}
+
+// FuzzCSRPatchEquivalence is the delta-pipeline exactness fuzz: random
+// edit scripts drive a warm engine, and after every burst the
+// journal-patched CSR snapshot must match a fresh full rebuild and the
+// boundary-seeded incremental cut must match the brute-force
+// partition.Cut — floats included.
+func FuzzCSRPatchEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(12), uint8(0))
+	f.Add(int64(42), uint8(40), uint8(3))
+	f.Add(int64(7), uint8(25), uint8(7))
+	f.Fuzz(func(t *testing.T, seed int64, edits uint8, procs uint8) {
+		workers := 1 + int(procs%8)
+		n := 60 + int(uint64(seed)%400)
+		p := 3 + int(uint64(seed)%4)
+		g, a := editableGraph(t, n, p, seed)
+		e := New(g, Options{Parallelism: workers})
+		rng := rand.New(rand.NewSource(seed ^ 0x9a7c))
+		check := func() {
+			requireSameSnapshot(t, e.Snapshot(a), g.RebuildCSRInto(nil))
+			got, want := e.Cut(a), partition.Cut(g, a)
+			if got.Total != want.Total || got.TotalWeight != want.TotalWeight ||
+				got.Max != want.Max || got.Min != want.Min {
+				t.Fatalf("cut diverges: got {%d %g %g %g} want {%d %g %g %g}",
+					got.Total, got.TotalWeight, got.Max, got.Min,
+					want.Total, want.TotalWeight, want.Max, want.Min)
+			}
+			for q := range want.PerPart {
+				if got.PerPart[q] != want.PerPart[q] {
+					t.Fatalf("PerPart[%d] = %g, want %g", q, got.PerPart[q], want.PerPart[q])
+				}
+			}
+		}
+		check()
+		for i := 0; i < int(edits); i++ {
+			if i%2 == 0 {
+				randomEdit(g, a, rng)
+			} else {
+				randomGrowthEdit(g, a, rng)
+			}
+			if i%3 == 0 {
+				check()
+			}
+			if i%5 == 4 {
+				// Interleave full pipeline runs so moves, stale pendings
+				// and refreshes mix the way a real session does.
+				_, _ = e.Repartition(context.Background(), a)
+			}
+		}
+		check()
 	})
 }

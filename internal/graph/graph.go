@@ -385,9 +385,14 @@ func (g *Graph) SortAdjacency() {
 		s.a, s.w = g.adj[v], g.ew[v]
 		sort.Sort(&s)
 	}
-	// Membership is untouched but snapshot layouts changed: advance the
-	// epoch without journaling any vertex.
+	// Membership is untouched but every row layout changed without any
+	// vertex being journaled: advance the epoch and drop the journal to
+	// the new floor, so journal consumers (the partial CSR patch) see
+	// the gap as inexact and rebuild rather than trusting stale rows.
 	g.epoch++
+	g.journalV = g.journalV[:0]
+	g.journalE = g.journalE[:0]
+	g.journalFloor = g.epoch
 }
 
 // Validate checks structural invariants, returning the first violation.

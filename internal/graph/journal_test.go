@@ -154,11 +154,11 @@ func TestToCSRIntoReuses(t *testing.T) {
 	if c.NumE != g.NumEdges() || c.NumV != g.NumVertices() {
 		t.Fatal("refreshed snapshot out of date")
 	}
-	fresh := g.ToCSR()
-	if !reflect.DeepEqual(fresh.XAdj, c.XAdj) || !reflect.DeepEqual(fresh.Adj, c.Adj) ||
-		!reflect.DeepEqual(fresh.EW, c.EW) || !reflect.DeepEqual(fresh.VW, c.VW) ||
-		!reflect.DeepEqual(fresh.Live, c.Live) {
-		t.Fatal("refreshed snapshot differs from a fresh one")
+	// The refreshed snapshot's logical content must match a fresh
+	// rebuild's exactly (slack layout may differ — see csr_patch_test.go
+	// for the byte-level patch guarantees).
+	if err := sameSnapshot(g.ToCSR(), c); err != nil {
+		t.Fatalf("refreshed snapshot differs from a fresh one: %v", err)
 	}
 	// Steady state: refreshing an unchanged graph allocates nothing.
 	allocs := testing.AllocsPerRun(10, func() { g.ToCSRInto(c) })

@@ -90,8 +90,7 @@ type Scratch struct {
 	Group    *par.Group
 	ownGroup par.Group
 	ws       []layerWorker
-	stamp    []uint32
-	gen      uint32
+	stamps   par.Stamps
 	seedBuf  []graph.Vertex
 	nextBuf  []graph.Vertex
 	mergeBuf []graph.Vertex

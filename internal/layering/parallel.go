@@ -14,7 +14,6 @@ package layering
 import (
 	"context"
 	"sort"
-	"sync/atomic"
 
 	"repro/internal/cancel"
 	"repro/internal/graph"
@@ -49,10 +48,7 @@ func (s *Scratch) group() *par.Group {
 
 // growPar readies the parallel-only state for an order-n, P-partition run.
 func (s *Scratch) growPar(n, p int) {
-	if cap(s.stamp) < n {
-		s.stamp = make([]uint32, n)
-	}
-	s.stamp = s.stamp[:n]
+	s.stamps.Grow(n)
 	for len(s.ws) < s.Procs {
 		s.ws = append(s.ws, layerWorker{})
 	}
@@ -74,26 +70,6 @@ func (s *Scratch) clearTasks() {
 	s.srt = sortTask{}
 }
 
-// nextGen advances the claim-stamp generation, clearing the stamps on
-// wrap so a stamp from exactly 2^32 generations ago cannot masquerade
-// as current.
-func (s *Scratch) nextGen() {
-	s.gen++
-	if s.gen == 0 {
-		for i := range s.stamp {
-			s.stamp[i] = 0
-		}
-		s.gen = 1
-	}
-}
-
-// claim atomically marks u with the current generation; it reports true
-// for exactly one caller per generation.
-func (s *Scratch) claim(u graph.Vertex) bool {
-	cur := atomic.LoadUint32(&s.stamp[u])
-	return cur != s.gen && atomic.CompareAndSwapUint32(&s.stamp[u], cur, s.gen)
-}
-
 // runPar is the sharded counterpart of run; see the package comment of
 // this file for the determinism argument.
 func (s *Scratch) runPar(ctx context.Context, c *graph.CSR, a *partition.Assignment, seeds []graph.Vertex, seeded bool) (*Result, error) {
@@ -110,11 +86,10 @@ func (s *Scratch) runPar(ctx context.Context, c *graph.CSR, a *partition.Assignm
 	// by arc count. Workers classify boundary vertices into private
 	// frontier buffers, merged in shard order.
 	if seeded {
-		s.nextGen()
+		s.stamps.Next()
 		buf := s.seedBuf[:0]
 		for _, v := range seeds {
-			if s.stamp[v] != s.gen {
-				s.stamp[v] = s.gen
+			if s.stamps.TryMark(v) {
 				buf = append(buf, v)
 			}
 		}
@@ -146,7 +121,7 @@ func (s *Scratch) runPar(ctx context.Context, c *graph.CSR, a *partition.Assignm
 	// next frontier in worker order. Claim racing can reorder the
 	// frontier relative to the sequential kernel, but no Result field
 	// depends on frontier order.
-	s.nextGen() // fresh generation: seed-dedup stamps must not mask claims
+	s.stamps.Next() // fresh generation: seed-dedup stamps must not mask claims
 	next := s.nextBuf[:0]
 	level := int32(0)
 	for len(frontier) > 0 {
@@ -268,7 +243,7 @@ func (t *levelTask) Do(w int) {
 	for _, v := range t.frontier[sh.Lo:sh.Hi] {
 		pv := t.a.Part[v]
 		for _, u := range t.c.Row(v) {
-			if t.a.Part[u] != pv || r.Label[u] >= 0 || !s.claim(u) {
+			if t.a.Part[u] != pv || r.Label[u] >= 0 || !s.stamps.Claim(u) {
 				continue
 			}
 			if lab := s.labelFor(ws, t.c, t.a, u, t.level); lab >= 0 {

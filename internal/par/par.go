@@ -23,6 +23,7 @@ package par
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -91,6 +92,80 @@ func SplitByWeight(dst []Range, cum []int32, workers int) []Range {
 		lo = hi
 	}
 	return dst
+}
+
+// Stamps is a reusable generation-stamped marker set over a dense index
+// range — the claim/dedup primitive every sharded kernel in this
+// repository is built on. Advancing the generation (Next) invalidates
+// all marks in O(1), so a kernel can dedup or claim per call without an
+// O(n) clear; slots grow to the largest index range seen and are then
+// reused.
+//
+// Two marking forms exist with one shared meaning ("the first caller
+// per generation wins"):
+//
+//   - TryMark is the sequential form (plain loads and stores);
+//   - Claim is the parallel form: an atomic compare-and-swap admits
+//     exactly one worker per slot per generation, so concurrent workers
+//     can use a claim to decide *membership* deterministically (who won
+//     is scheduling-dependent, but the claimed set is a pure function of
+//     the inputs) while keeping the slot's dependent writes race-free.
+//
+// Mixing the forms across phases of one generation is safe when the
+// sequential phase completes before the parallel region starts (the
+// fork establishes the happens-before edge) — the pattern the engine's
+// journal-then-diff boundary sync uses.
+type Stamps struct {
+	s   []uint32
+	gen uint32
+}
+
+// Grow extends the slot range to cover indices [0, n).
+func (st *Stamps) Grow(n int) {
+	if cap(st.s) < n {
+		s := make([]uint32, n)
+		copy(s, st.s)
+		st.s = s
+		return
+	}
+	for len(st.s) < n {
+		st.s = append(st.s, 0)
+	}
+}
+
+// Next starts a new generation, invalidating every mark. On the (rare)
+// 2^32nd call the counter wraps and the slots are cleared so a stamp
+// from exactly 2^32 generations ago cannot masquerade as current.
+func (st *Stamps) Next() {
+	st.gen++
+	if st.gen == 0 {
+		for i := range st.s {
+			st.s[i] = 0
+		}
+		st.gen = 1
+	}
+}
+
+// Marked reports whether i has been marked this generation. It must not
+// race with concurrent Claim calls on the same slot.
+func (st *Stamps) Marked(i int32) bool { return st.s[i] == st.gen }
+
+// TryMark marks i, reporting whether this call was the first this
+// generation. Sequential form — callers inside a parallel region must
+// use Claim.
+func (st *Stamps) TryMark(i int32) bool {
+	if st.s[i] == st.gen {
+		return false
+	}
+	st.s[i] = st.gen
+	return true
+}
+
+// Claim atomically marks i, reporting true for exactly one caller per
+// generation — the parallel form of TryMark.
+func (st *Stamps) Claim(i int32) bool {
+	cur := atomic.LoadUint32(&st.s[i])
+	return cur != st.gen && atomic.CompareAndSwapUint32(&st.s[i], cur, st.gen)
 }
 
 // Task is one shardable parallel region. Do(w) is invoked exactly once

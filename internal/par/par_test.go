@@ -131,3 +131,72 @@ func TestGroupRunSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("warm Group.Run allocates %.1f objects/op, want 0", allocs)
 	}
 }
+
+// stampTask has every worker race to claim all slots; the claimed sets
+// must partition the index range (each slot exactly one winner).
+type stampTask struct {
+	st   *Stamps
+	n    int
+	wins []atomic.Int32
+}
+
+func (t *stampTask) Do(w int) {
+	for i := 0; i < t.n; i++ {
+		if t.st.Claim(int32(i)) {
+			t.wins[i].Add(1)
+		}
+	}
+}
+
+func TestStampsClaimOneWinner(t *testing.T) {
+	var st Stamps
+	const n = 4096
+	st.Grow(n)
+	var g Group
+	for gen := 0; gen < 3; gen++ {
+		st.Next()
+		task := &stampTask{st: &st, n: n, wins: make([]atomic.Int32, n)}
+		g.Run(8, task)
+		for i := range task.wins {
+			if got := task.wins[i].Load(); got != 1 {
+				t.Fatalf("gen %d: slot %d claimed %d times, want 1", gen, i, got)
+			}
+			if !st.Marked(int32(i)) {
+				t.Fatalf("gen %d: slot %d not marked after claim", gen, i)
+			}
+		}
+	}
+}
+
+func TestStampsTryMarkAndWrap(t *testing.T) {
+	var st Stamps
+	st.Grow(4)
+	st.Next()
+	if !st.TryMark(2) || st.TryMark(2) {
+		t.Fatal("TryMark must succeed exactly once per generation")
+	}
+	if st.Marked(0) {
+		t.Fatal("unmarked slot reports marked")
+	}
+	st.Next()
+	if st.Marked(2) {
+		t.Fatal("Next did not invalidate marks")
+	}
+	// Force the wrap path: a stale stamp equal to the post-wrap
+	// generation must not masquerade as current.
+	st.s[3] = 1
+	st.gen = ^uint32(0)
+	st.Next()
+	if st.gen != 1 {
+		t.Fatalf("gen after wrap = %d, want 1", st.gen)
+	}
+	if st.Marked(3) {
+		t.Fatal("stale stamp survived the wrap clear")
+	}
+	// Grow after use keeps existing marks.
+	st.TryMark(1)
+	st.Grow(16)
+	if !st.Marked(1) || st.Marked(8) {
+		t.Fatal("Grow corrupted marks")
+	}
+}

@@ -194,6 +194,92 @@ func Cut(g *graph.Graph, a *Assignment) CutStats {
 	return st
 }
 
+// CutSeededInto fills dst with cutset statistics computed from a
+// boundary seed set over a CSR snapshot, reusing perPart as the
+// PerPart arena (grown as needed and returned). boundary must be sorted
+// ascending, duplicate-free, and contain every live vertex with at
+// least one neighbor in a different partition; sizes must hold each
+// partition's live assigned-vertex count (as SizesInto reports).
+//
+// The result — floats included — is bit-identical to Cut(g, a) for the
+// graph the snapshot reflects: vertices outside the boundary contribute
+// no terms to any accumulator, so iterating only the boundary in
+// ascending order performs exactly the additions Cut performs, in the
+// same order. The cost is O(Σ deg(boundary) + P) instead of O(n + m),
+// which is what makes the engine's incremental cut maintenance
+// edit-proportional; Cut itself remains the brute-force oracle.
+func CutSeededInto(dst *CutStats, perPart []float64, c *graph.CSR, a *Assignment, boundary []graph.Vertex, sizes []int) []float64 {
+	if cap(perPart) < a.P {
+		perPart = make([]float64, a.P)
+	}
+	perPart = perPart[:a.P]
+	for i := range perPart {
+		perPart[i] = 0
+	}
+	st := CutStats{PerPart: perPart}
+	for _, v := range boundary {
+		pv := a.Of(v)
+		if pv < 0 {
+			continue
+		}
+		ws := c.RowWeights(v)
+		for i, u := range c.Row(v) {
+			pu := a.Of(u)
+			if pu < 0 || pu == pv {
+				continue
+			}
+			st.PerPart[pv] += ws[i]
+			if v < u {
+				st.Total++
+				st.TotalWeight += ws[i]
+			}
+		}
+	}
+	st.Max = math.Inf(-1)
+	st.Min = math.Inf(1)
+	empty := true
+	for q := 0; q < a.P; q++ {
+		if sizes[q] == 0 {
+			continue
+		}
+		empty = false
+		if st.PerPart[q] > st.Max {
+			st.Max = st.PerPart[q]
+		}
+		if st.PerPart[q] < st.Min {
+			st.Min = st.PerPart[q]
+		}
+	}
+	if empty {
+		st.Max, st.Min = 0, 0
+	}
+	*dst = st
+	return perPart
+}
+
+// CutSeededWeight returns only the total cut weight from a sorted
+// boundary seed set — the quantity the refinement driver polls every
+// round. Bit-identical to Cut(g, a).TotalWeight under the CutSeededInto
+// preconditions, at O(Σ deg(boundary)) cost.
+func CutSeededWeight(c *graph.CSR, a *Assignment, boundary []graph.Vertex) float64 {
+	var total float64
+	for _, v := range boundary {
+		pv := a.Of(v)
+		if pv < 0 {
+			continue
+		}
+		ws := c.RowWeights(v)
+		for i, u := range c.Row(v) {
+			if v < u {
+				if pu := a.Of(u); pu >= 0 && pu != pv {
+					total += ws[i]
+				}
+			}
+		}
+	}
+	return total
+}
+
 // Imbalance returns max(weight)/mean(weight) over partitions; 1.0 is
 // perfectly balanced. An assignment with an empty partition still gets a
 // finite value (its max is over the others). Degenerate inputs — an

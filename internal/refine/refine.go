@@ -396,6 +396,13 @@ type Options struct {
 	// buffers, zero steady-state allocation). The engine passes its own;
 	// one-shot callers leave it nil and get fresh formulations.
 	Arena *LPArena
+	// CutWeight, if non-nil, replaces the driver's per-round
+	// partition.Cut(g, a).TotalWeight rescan with an equivalent cheaper
+	// evaluation of the current assignment's cut weight. It must return a
+	// value bit-identical to the rescan's (the engine supplies its
+	// boundary-seeded incremental cut, which is); the driver's
+	// best-assignment tracking compares these floats exactly.
+	CutWeight func() float64
 }
 
 // Rounds returns MaxRounds with the default applied.
@@ -460,8 +467,12 @@ func Refine(g *graph.Graph, a *partition.Assignment, opt Options) (*Stats, error
 // abort restores the best assignment seen so far, so a canceled
 // refinement still leaves a valid (and never-worse) partition behind.
 func Drive(ctx context.Context, g *graph.Graph, a *partition.Assignment, opt Options, gains func(strict bool) (*Candidates, error), bestBuf []int32) (*Stats, []int32, error) {
+	cutWeight := opt.CutWeight
+	if cutWeight == nil {
+		cutWeight = func() float64 { return partition.Cut(g, a).TotalWeight }
+	}
 	st := &Stats{}
-	st.CutBefore = partition.Cut(g, a).TotalWeight
+	st.CutBefore = cutWeight()
 	best := append(bestBuf[:0], a.Part...)
 	bestCut := st.CutBefore
 	cur := st.CutBefore
@@ -510,7 +521,7 @@ func Drive(ctx context.Context, g *graph.Graph, a *partition.Assignment, opt Opt
 		if opt.OnRound != nil {
 			opt.OnRound(st.Rounds, moved)
 		}
-		cur = partition.Cut(g, a).TotalWeight
+		cur = cutWeight()
 		if cur < bestCut {
 			bestCut = cur
 			best = append(best[:0], a.Part...)

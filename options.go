@@ -48,6 +48,7 @@ type config struct {
 	tolerance    int
 	batches      int
 	parallelism  int
+	fullRefresh  bool
 	observer     func(Event)
 }
 
@@ -197,6 +198,24 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithFullRefresh disables every delta shortcut in the engine's
+// derived-state pipeline: CSR snapshots are fully rebuilt instead of
+// patched from the graph's edit journal, the partition-boundary set is
+// rebuilt from scratch on every sync, cutset statistics come from a full
+// arc rescan, and phase 1 runs the one-shot flood-fill assignment
+// instead of the touched-set-seeded form. Results are bit-identical
+// either way — the incremental paths are fuzz-verified against these
+// full recomputations — so the option exists as an escape hatch and a
+// divergence-debugging lever, at the cost of making every call pay
+// O(n+m) regardless of how little changed. [Stats.CSRPatched] and
+// [Stats.CutIncremental] report zero under it.
+func WithFullRefresh() Option {
+	return func(c *config) error {
+		c.fullRefresh = true
+		return nil
+	}
+}
+
 // WithObserver streams stage-level [Event]s to fn during Repartition —
 // phase spans, per-stage ε and movement, refinement rounds — for live
 // dashboards and tracing. fn runs synchronously on the repartitioning
@@ -240,6 +259,7 @@ func (c *config) coreOptions() core.Options {
 		Tolerance:   c.tolerance,
 		Refine:      c.refine,
 		Parallelism: c.parallelism,
+		FullRefresh: c.fullRefresh,
 		RefineOptions: refine.Options{
 			MaxRounds: c.refineRounds,
 			Solver:    c.solver,

@@ -55,10 +55,15 @@ func runCore(ctx context.Context, g *Graph, a *Assignment, cfg *config) (*core.S
 // Engine is a long-lived repartitioning session bound to one graph.
 // Unlike the one-shot [Repartition] function — which rebuilds its derived
 // state on every call — an Engine keeps a flat CSR snapshot of the graph
-// (refreshed only when the graph has actually been edited), maintains the
-// partition-boundary vertex set incrementally from the graph's edit
-// journal, and reuses all phase scratch memory, so steady-state
-// repartitioning after small edits performs near-zero heap allocation.
+// (patched row-by-row from the graph's edit journal when it has been
+// edited, not rebuilt), maintains the partition-boundary set, the
+// per-partition sizes and the cutset statistics incrementally from that
+// journal plus an assignment diff, seeds phase 1 from the touched set so
+// an unchanged region is never traversed, and reuses all phase scratch
+// memory — so a warm Repartition after a small edit costs work
+// proportional to the changed region and performs near-zero heap
+// allocation. [WithFullRefresh] disables the delta shortcuts
+// (bit-identical results, full-recomputation cost).
 //
 // Typical use mirrors an adaptive-mesh application's loop:
 //
@@ -93,8 +98,10 @@ func NewEngine(g *Graph, opts ...Option) (*Engine, error) {
 // engine's snapshots and scratch arenas. The context is honored
 // throughout (see Repartition); an abort leaves a valid assignment.
 //
-// The returned Stats is owned by the engine and overwritten by the next
-// Repartition call; copy it to retain it across calls.
+// The returned *Stats is an arena owned by the engine: it is
+// overwritten by the next Repartition call. Use [Stats.Clone] to retain
+// one across calls (a shallow copy is not enough — the slice-backed
+// fields point into the arena too).
 func (e *Engine) Repartition(ctx context.Context, a *Assignment) (*Stats, error) {
 	var (
 		st  *core.Stats

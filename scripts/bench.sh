@@ -92,6 +92,14 @@ echo "$phases"
 procs_rows="$procs_rows,
     $phases"
 
+# Incremental-edit workload: warm k-edit Repartition cost vs delta size
+# on both mesh families, against the WithFullRefresh full-recomputation
+# baseline — the evidence that the journal-driven delta pipeline makes
+# warm refresh cost scale with the edit, not with n+m.
+echo "== incremental-edit workload (igpbench -table incremental) =="
+incr="$(go run ./cmd/igpbench -table incremental -json)"
+echo "$incr"
+
 echo "== benchmarks ($filter) =="
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -99,7 +107,7 @@ go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" . | tee "$r
 
 # Parse `BenchmarkName  N  X ns/op  Y B/op  Z allocs/op` lines into JSON,
 # folding in the per-phase timing record and the per-solver/per-procs rows.
-awk -v idx="$idx" -v phases="$phases" -v solvers="$solver_rows" -v procs="$procs_rows" '
+awk -v idx="$idx" -v phases="$phases" -v solvers="$solver_rows" -v procs="$procs_rows" -v incr="$incr" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -114,7 +122,7 @@ BEGIN { n = 0 }
                         name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs))
 }
 END {
-    printf "{\n  \"trajectory\": %s,\n  \"phase_timings\": %s,\n  \"phase_timings_by_solver\": [\n    %s\n  ],\n  \"phase_timings_by_procs\": [\n    %s\n  ],\n  \"benchmarks\": [\n", idx, phases, solvers, procs
+    printf "{\n  \"trajectory\": %s,\n  \"phase_timings\": %s,\n  \"phase_timings_by_solver\": [\n    %s\n  ],\n  \"phase_timings_by_procs\": [\n    %s\n  ],\n  \"incremental_edits\": %s,\n  \"benchmarks\": [\n", idx, phases, solvers, procs, incr
     for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n-1 ? "," : "")
     printf "  ]\n}\n"
 }' "$raw" > "$out"

@@ -26,6 +26,11 @@ func (t PhaseTimings) Total() time.Duration {
 }
 
 // Stats reports what Repartition did.
+//
+// The *Stats returned by an [Engine]'s Repartition is an arena owned by
+// the engine and overwritten by its next call; use [Stats.Clone] to
+// retain one across calls. The one-shot package-level [Repartition]
+// returns a fresh value every time.
 type Stats struct {
 	// NewAssigned is the number of new vertices placed in phase 1.
 	NewAssigned int
@@ -71,6 +76,36 @@ type Stats struct {
 	// sequential path. Comparing the sum against Elapsed shows how much
 	// of the pipeline actually fanned out.
 	WorkerBusy []time.Duration
+	// CSRPatched counts snapshot refreshes during this call served by
+	// the journal-driven partial CSR patch (only the touched rows
+	// rewritten) rather than a full O(n+m) rebuild. On a warm [Engine]
+	// absorbing small edits it equals the number of refreshes; it is
+	// zero on the first call, after journal overflow, when churn or a
+	// slot overflow forced a compacting rebuild, or under
+	// [WithFullRefresh].
+	CSRPatched int
+	// CutIncremental counts cutset evaluations during this call served
+	// incrementally from the maintained partition-boundary set (cost
+	// proportional to the boundary, bit-identical to the full rescan)
+	// instead of scanning every arc. It covers the CutBefore/CutAfter
+	// reports and every refinement round's cut poll; it is zero under
+	// [WithFullRefresh].
+	CutIncremental int
+}
+
+// Clone returns a deep copy of the Stats, detached from any engine
+// arena: unlike the value an [Engine] returns — which is overwritten by
+// the engine's next call — a clone stays valid forever. Sessions that
+// archive per-call statistics clone each result before the next call.
+func (s *Stats) Clone() *Stats {
+	c := *s
+	c.EpsilonUsed = append([]float64(nil), s.EpsilonUsed...)
+	c.StagePivots = append([]int(nil), s.StagePivots...)
+	c.RoundPivots = append([]int(nil), s.RoundPivots...)
+	c.WorkerBusy = append([]time.Duration(nil), s.WorkerBusy...)
+	c.CutBefore.PerPart = append([]float64(nil), s.CutBefore.PerPart...)
+	c.CutAfter.PerPart = append([]float64(nil), s.CutAfter.PerPart...)
+	return &c
 }
 
 // convertStatsInto fills dst from the engine's internal stats, reusing
@@ -89,17 +124,19 @@ func convertStatsInto(dst *Stats, st *core.Stats) {
 	}
 	busy := append(dst.WorkerBusy[:0], st.WorkerBusy...)
 	*dst = Stats{
-		NewAssigned:  st.NewAssigned,
-		Stages:       len(st.Stages),
-		EpsilonUsed:  eps,
-		StagePivots:  pivots,
-		RoundPivots:  rounds,
-		BalanceMoved: st.BalanceMoved,
-		LPIterations: st.LPIterations,
-		Parallelism:  st.Parallelism,
-		WorkerBusy:   busy,
-		CutBefore:    st.CutBefore,
-		CutAfter:     st.CutAfter,
+		NewAssigned:    st.NewAssigned,
+		Stages:         len(st.Stages),
+		EpsilonUsed:    eps,
+		StagePivots:    pivots,
+		RoundPivots:    rounds,
+		BalanceMoved:   st.BalanceMoved,
+		LPIterations:   st.LPIterations,
+		Parallelism:    st.Parallelism,
+		WorkerBusy:     busy,
+		CSRPatched:     st.CSRPatched,
+		CutIncremental: st.CutIncremental,
+		CutBefore:      st.CutBefore,
+		CutAfter:       st.CutAfter,
 		PhaseTimings: PhaseTimings{
 			Assign:  st.AssignTime,
 			Layer:   st.LayerTime,
