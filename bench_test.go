@@ -504,6 +504,35 @@ func BenchmarkEngine_SteadyRepartition(b *testing.B) {
 	}
 }
 
+// BenchmarkEngine_SteadyRepartitionPar is the steady-state cycle at each
+// worker count: with the LP kernels column-sharded behind the same
+// worker group, this is where the balance+refine wall clock scales —
+// and the allocs/op column must read 0 at every procs value (the
+// per-worker scratch is part of the engine's arenas).
+func BenchmarkEngine_SteadyRepartitionPar(b *testing.B) {
+	f := meshA(b)
+	g := f.seq.Steps[0].Graph
+	for _, procs := range benchProcs {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			eng := engine.New(g, engine.Options{Parallelism: procs})
+			base := f.base.Clone()
+			base.Grow(g.Order())
+			a := base.Clone()
+			if _, err := eng.Repartition(context.Background(), a); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(a.Part, base.Part)
+				if _, err := eng.Repartition(context.Background(), a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkPhase_BalanceLP(b *testing.B) {
 	prob := balanceLP(b)
 	s := lp.Bounded{}

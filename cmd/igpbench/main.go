@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "fig11", "table to regenerate: fig11|fig14|speedup|lpsize|baselines|refine|solvers|incremental|phases|all")
+	table := flag.String("table", "fig11", "table to regenerate: fig11|fig14|speedup|lpsize|baselines|refine|solvers|incremental|phases|lp-procs|all")
 	seed := flag.Int64("seed", 1994, "workload seed")
 	p := flag.Int("p", 32, "number of partitions")
 	ranks := flag.Int("ranks", 32, "simulated machine size")
@@ -61,6 +61,15 @@ func main() {
 		// one JSON object, mesh A first refinement under IGPR.
 		exitOn(printPhases(*seed, *p, *solver, *procs))
 		if *table == "phases" {
+			return
+		}
+	}
+	if run("lp-procs") {
+		ok = true
+		// Machine-readable LP-phase scaling rows (mesh B, P=128, IGPR, one
+		// row per worker count) for the bench.sh trajectory.
+		exitOn(printLPProcs(*seed, *solver))
+		if *table == "lp-procs" {
 			return
 		}
 	}
@@ -184,6 +193,33 @@ func printPhases(seed int64, p int, solver string, procs int) error {
 	if err != nil {
 		return err
 	}
+	return phaseRecord("meshA-step1-igpr", seq, seed, p, solver, procs)
+}
+
+// printLPProcs is the lp-procs table: the first mesh-B refinement at
+// P=128 — big enough that the balance/refine LPs clear the simplex
+// kernels' sharding threshold — once per worker count, each emitted as
+// a phaseRecord row. bench.sh folds the rows into
+// phase_timings_by_procs, making the balance/refine wall clock versus
+// worker count (and the lp_parallel counter proving the kernels forked)
+// part of the BENCH trajectory.
+func printLPProcs(seed int64, solver string) error {
+	seq, err := mesh.PaperSequenceB(seed)
+	if err != nil {
+		return err
+	}
+	const p = 128
+	for _, procs := range []int{1, 2, 4, 8} {
+		if err := phaseRecord("meshB-step1-igpr-p128", seq, seed, p, solver, procs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// phaseRecord runs one IGPR repartition of seq's first step and emits
+// the per-phase timing JSON record.
+func phaseRecord(workload string, seq *mesh.Sequence, seed int64, p int, solver string, procs int) error {
 	a, err := igp.PartitionRSB(seq.Base, p, seed)
 	if err != nil {
 		return err
@@ -202,13 +238,13 @@ func printPhases(seed int64, p int, solver string, procs int) error {
 	for i, d := range st.WorkerBusy {
 		busy[i] = fmt.Sprintf("%d", d.Nanoseconds())
 	}
-	fmt.Printf(`{"workload": "meshA-step1-igpr", "p": %d, "solver": %q, "procs": %d, `+
+	fmt.Printf(`{"workload": %q, "p": %d, "solver": %q, "procs": %d, `+
 		`"assign_ns": %d, "layer_ns": %d, "balance_ns": %d, "refine_ns": %d, `+
-		`"elapsed_ns": %d, "stages": %d, "lp_iterations": %d, "moved": %d, `+
+		`"elapsed_ns": %d, "stages": %d, "lp_iterations": %d, "lp_parallel": %d, "moved": %d, `+
 		`"worker_busy_ns": [%s]}`+"\n",
-		p, solver, st.Parallelism, pt.Assign.Nanoseconds(), pt.Layer.Nanoseconds(),
+		workload, p, solver, st.Parallelism, pt.Assign.Nanoseconds(), pt.Layer.Nanoseconds(),
 		pt.Balance.Nanoseconds(), pt.Refine.Nanoseconds(), st.Elapsed.Nanoseconds(),
-		st.Stages, st.LPIterations, st.BalanceMoved+st.RefineMoved,
+		st.Stages, st.LPIterations, st.LPParallel, st.BalanceMoved+st.RefineMoved,
 		strings.Join(busy, ", "))
 	return nil
 }

@@ -223,7 +223,14 @@ func abs(x int) int {
 // non-integral values (which the totally unimodular formulation rules out
 // up to numerical noise).
 func (m *Model) Flows(sol *lp.Solution) ([]Flow, error) {
-	flows := make([]Flow, 0, len(m.Pairs))
+	return m.FlowsInto(make([]Flow, 0, len(m.Pairs)), sol)
+}
+
+// FlowsInto is Flows appending into a reusable buffer (dst[:0] is used;
+// its capacity is kept), so a steady-state caller converts solutions
+// without allocating.
+func (m *Model) FlowsInto(dst []Flow, sol *lp.Solution) ([]Flow, error) {
+	flows := dst[:0]
 	for v, x := range sol.X {
 		r := math.Round(x)
 		if math.Abs(x-r) > 1e-6 {
@@ -241,6 +248,12 @@ func (m *Model) Flows(sol *lp.Solution) ([]Flow, error) {
 // A done context aborts the solve with an error matching
 // cancel.ErrCanceled; no flows are produced.
 func Solve(ctx context.Context, m *Model, solver lp.Solver) ([]Flow, *lp.Solution, error) {
+	return SolveInto(ctx, m, solver, nil)
+}
+
+// SolveInto is Solve converting flows into a reusable buffer
+// (see FlowsInto). The returned flows alias buf's backing array.
+func SolveInto(ctx context.Context, m *Model, solver lp.Solver, buf []Flow) ([]Flow, *lp.Solution, error) {
 	sol, err := solver.Solve(ctx, m.Prob)
 	if err != nil {
 		return nil, nil, fmt.Errorf("balance: %w", err)
@@ -248,7 +261,7 @@ func Solve(ctx context.Context, m *Model, solver lp.Solver) ([]Flow, *lp.Solutio
 	if sol.Status != lp.Optimal {
 		return nil, sol, nil
 	}
-	flows, err := m.Flows(sol)
+	flows, err := m.FlowsInto(buf, sol)
 	if err != nil {
 		return nil, sol, err
 	}

@@ -80,6 +80,7 @@ type assignScratch struct {
 	sorter    candSorter
 	srcT      srcTask
 	lvlT      asgLevelTask
+	orphT     orphanTask
 }
 
 // grow readies the per-vertex arrays and per-worker arenas.
@@ -233,18 +234,39 @@ func (e *Engine) assign(a *partition.Assignment) (assigned, clusterFallbacks int
 	// Disconnected new clusters: flood each component within the
 	// unassigned region (ascending first-seed order, the oracle's
 	// component order) and place it whole on the least-loaded partition.
+	// The flood is level-synchronous so large components shard over the
+	// worker group; membership is a claim, and the component *set* is a
+	// graph property independent of visit order, so the uniform
+	// per-component assignment (and the least-loaded choice, which sees
+	// only component sizes in ascending first-seed order) is bit-identical
+	// for every worker count.
 	comp := s.comp[:0]
 	for _, seed := range orphans {
 		if !s.stamps.TryMark(seed) {
 			continue // already swept into an earlier cluster
 		}
 		comp = append(comp[:0], seed)
-		for head := 0; head < len(comp); head++ {
-			for _, u := range e.csr.Row(comp[head]) {
-				if a.Part[u] < 0 && s.stamps.TryMark(u) {
-					comp = append(comp, u)
+		for lo := 0; lo < len(comp); {
+			hi := len(comp)
+			frontier := comp[lo:hi]
+			if procs > 1 && len(frontier) >= parAsgMin {
+				s.shards = par.Split(s.shards[:0], len(frontier), procs)
+				s.orphT = orphanTask{e: e, a: a, frontier: frontier}
+				e.group.Run(len(s.shards), &s.orphT)
+				s.orphT = orphanTask{}
+				for w := range s.shards {
+					comp = append(comp, s.ws[w].srcs...)
+				}
+			} else {
+				for _, v := range frontier {
+					for _, u := range e.csr.Row(v) {
+						if a.Part[u] < 0 && s.stamps.TryMark(u) {
+							comp = append(comp, u)
+						}
+					}
 				}
 			}
+			lo = hi
 		}
 		best := 0
 		for q := 1; q < a.P; q++ {
@@ -280,6 +302,31 @@ func (t *srcTask) Do(w int) {
 	for _, v := range s.seeds[sh.Lo:sh.Hi] {
 		for _, u := range e.csr.Row(v) {
 			if t.a.Part[u] >= 0 && s.stamps.Claim(u) {
+				ws.srcs = append(ws.srcs, u)
+			}
+		}
+	}
+}
+
+// orphanTask expands one shard of an orphan component's frontier:
+// unassigned neighbors are claimed into the worker's private list and
+// merged in shard order. Only membership matters downstream (the whole
+// component gets one partition), so no discoverer bookkeeping is needed.
+type orphanTask struct {
+	e        *Engine
+	a        *partition.Assignment
+	frontier []graph.Vertex
+}
+
+func (t *orphanTask) Do(w int) {
+	e := t.e
+	s := &e.asg
+	ws := &s.ws[w]
+	ws.srcs = ws.srcs[:0]
+	sh := s.shards[w]
+	for _, v := range t.frontier[sh.Lo:sh.Hi] {
+		for _, u := range e.csr.Row(v) {
+			if t.a.Part[u] < 0 && s.stamps.Claim(u) {
 				ws.srcs = append(ws.srcs, u)
 			}
 		}

@@ -48,7 +48,6 @@ import (
 	"fmt"
 	"reflect"
 	"runtime"
-	"slices"
 	"time"
 
 	"repro/internal/balance"
@@ -176,6 +175,11 @@ type Stats struct {
 	// Parallelism is the worker count the engine's sharded kernels ran
 	// with (1 = the sequential path).
 	Parallelism int
+	// LPParallel counts LP solves during this call that actually forked
+	// the simplex kernels over the worker group (reached the per-pivot
+	// work threshold); zero on the sequential path and for LPs too small
+	// to be worth sharding. Results are bit-identical either way.
+	LPParallel int
 	// WorkerBusy is the per-worker busy wall clock summed over every
 	// parallel region of the call (boundary sync, layering BFS, gain
 	// scans, pool sorts); index w is worker w. Empty on the sequential
@@ -295,7 +299,12 @@ type Engine struct {
 	sizes    []int
 	targets  []int
 	bestPart []int32
-	stats    Stats // reused result arena; see Repartition
+	flowBuf  []balance.Flow // per-stage flow arena (see balanceStage)
+	stats    Stats          // reused result arena; see Repartition
+
+	// The engine's sessionized LP solvers (deduplicated): polled for
+	// Stats.LPParallel in Repartition.
+	lpSolvers []lp.ParallelSolver
 
 	// Worker pool for the sharded kernels (see parallel.go): one
 	// fork-join group shared with the layering and gains scratches so
@@ -307,6 +316,11 @@ type Engine struct {
 	bws    []boundaryWorker
 	rb     rebuildTask
 	df     diffTask
+
+	// Parallel sorted-boundary scratch (see sortedBoundary).
+	cutBuf2  []graph.Vertex
+	cutHeads []int
+	cs       cutSortTask
 }
 
 // neverSeen marks prevPart slots the engine has not synced yet; it never
@@ -326,19 +340,30 @@ const neverSeen int32 = -2
 // both phases share one session, so a basis retained by a balance stage
 // can warm a structurally identical later solve and vice versa.
 func New(g *graph.Graph, opt Options) *Engine {
+	e := &Engine{g: g, procs: opt.procs()}
 	base := opt.Solver
 	if base == nil {
 		base = lp.Bounded{}
 	}
-	session := lp.Session(base)
+	// Sessions get the engine's worker group: WithParallelism covers the
+	// LP kernels with zero call-site changes (see lp/parallel.go).
+	session := lp.Session(base, lp.WithWorkers(&e.group, e.procs))
 	opt.Solver = session
 	switch rs := opt.RefineOptions.Solver; {
 	case rs == nil || sameSolverInstance(rs, base):
 		opt.RefineOptions.Solver = session
 	default:
-		opt.RefineOptions.Solver = lp.Session(rs)
+		opt.RefineOptions.Solver = lp.Session(rs, lp.WithWorkers(&e.group, e.procs))
 	}
-	e := &Engine{g: g, opt: opt, procs: opt.procs()}
+	e.opt = opt
+	if ps, ok := session.(lp.ParallelSolver); ok {
+		e.lpSolvers = append(e.lpSolvers, ps)
+	}
+	if rs := opt.RefineOptions.Solver; !sameSolverInstance(rs, session) {
+		if ps, ok := rs.(lp.ParallelSolver); ok {
+			e.lpSolvers = append(e.lpSolvers, ps)
+		}
+	}
 	// The layering and gains scratches shard over the same worker count
 	// and run their regions on the engine's fork-join group, so
 	// Stats.WorkerBusy aggregates every kernel's per-worker busy time.
@@ -347,6 +372,16 @@ func New(g *graph.Graph, opt Options) *Engine {
 	e.gain.Procs = e.procs
 	e.gain.Group = &e.group
 	return e
+}
+
+// lpParallel sums the forked-solve counters of the engine's LP sessions
+// (the lifetime totals; Repartition reports per-call deltas).
+func (e *Engine) lpParallel() int {
+	total := 0
+	for _, ps := range e.lpSolvers {
+		total += ps.ParallelSolves()
+	}
+	return total
 }
 
 // sameSolverInstance reports whether a and b are the very same solver
@@ -617,9 +652,8 @@ func (e *Engine) finishSync(a *partition.Assignment) {
 // perPart is the engine-owned PerPart arena for this report slot.
 func (e *Engine) cutStatsInto(dst *partition.CutStats, perPart *[]float64, a *partition.Assignment) {
 	e.sync(a)
-	e.cutBuf = append(e.cutBuf[:0], e.boundary...)
-	slices.Sort(e.cutBuf)
-	*perPart = partition.CutSeededInto(dst, *perPart, e.csr, a, e.cutBuf, e.partSizes)
+	seeds := e.sortedBoundary()
+	*perPart = partition.CutSeededInto(dst, *perPart, e.csr, a, seeds, e.partSizes)
 	e.cutIncremental++
 }
 
@@ -628,10 +662,9 @@ func (e *Engine) cutStatsInto(dst *partition.CutStats, perPart *[]float64, a *pa
 // to partition.Cut(e.g, a).TotalWeight.
 func (e *Engine) cutWeight(a *partition.Assignment) float64 {
 	e.sync(a)
-	e.cutBuf = append(e.cutBuf[:0], e.boundary...)
-	slices.Sort(e.cutBuf)
+	seeds := e.sortedBoundary()
 	e.cutIncremental++
-	return partition.CutSeededWeight(e.csr, a, e.cutBuf)
+	return partition.CutSeededWeight(e.csr, a, seeds)
 }
 
 // Cut syncs and reports cutset statistics for the engine's graph under
@@ -687,11 +720,13 @@ func (e *Engine) Repartition(ctx context.Context, a *partition.Assignment) (*Sta
 	opt := e.opt
 	e.group.Reset()
 	basePatched, baseCutInc := e.csrPatched, e.cutIncremental
+	baseLPPar := e.lpParallel()
 	tStart := time.Now()
 	defer func() {
 		st.Elapsed = time.Since(tStart)
 		st.CSRPatched = e.csrPatched - basePatched
 		st.CutIncremental = e.cutIncremental - baseCutInc
+		st.LPParallel = e.lpParallel() - baseLPPar
 		for _, sg := range st.Stages {
 			st.LPIterations += sg.LPPivots
 		}
@@ -756,7 +791,7 @@ func (e *Engine) Repartition(ctx context.Context, a *partition.Assignment) (*Sta
 
 		tB := time.Now()
 		e.emit(Event{Kind: EventStart, Phase: PhaseBalance, Stage: stage + 1})
-		stageStat, ok, err := balanceStage(ctx, a, lay, sizes, targets, solver, opt.epsMax(), opt.Tolerance, &e.balArena)
+		stageStat, ok, err := balanceStage(ctx, a, lay, sizes, targets, solver, opt.epsMax(), opt.Tolerance, &e.balArena, &e.flowBuf)
 		dB := time.Since(tB)
 		st.BalanceTime += dB
 		if err != nil || !ok {
@@ -820,13 +855,16 @@ func (e *Engine) Repartition(ctx context.Context, a *partition.Assignment) (*Sta
 // the ε escalation and successive stages only change RHS and bounds
 // over an unchanged pair structure, a warm-started solver resumes each
 // of these solves from the previous basis.
-func balanceStage(ctx context.Context, a *partition.Assignment, lay *layering.Result, sizes, targets []int, solver lp.Solver, epsMax float64, tol int, ar *balance.Arena) (StageStats, bool, error) {
+func balanceStage(ctx context.Context, a *partition.Assignment, lay *layering.Result, sizes, targets []int, solver lp.Solver, epsMax float64, tol int, ar *balance.Arena, flowBuf *[]balance.Flow) (StageStats, bool, error) {
 	for eps := 1.0; eps <= epsMax; eps++ {
 		m, err := ar.FormulateTol(lay.Delta, sizes, targets, eps, tol)
 		if err != nil {
 			return StageStats{}, false, err
 		}
-		flows, sol, err := balance.Solve(ctx, m, solver)
+		flows, sol, err := balance.SolveInto(ctx, m, solver, *flowBuf)
+		if flows != nil {
+			*flowBuf = flows // keep the grown backing array for the next stage
+		}
 		if err != nil {
 			return StageStats{}, false, err
 		}

@@ -419,11 +419,19 @@ func TestEngineForksSessionSolvers(t *testing.T) {
 		t.Fatal("refine phase does not share the engine's solver session")
 	}
 	// A distinct refine solver must be sessionized separately, not
-	// replaced by the balance session.
+	// replaced by the balance session. (Bounded is session-capable too —
+	// its session carries the tableau and Solution arenas — so the engine
+	// forks it rather than passing the bare value through.)
 	e3 := New(g1, Options{Solver: template, Refine: true,
 		RefineOptions: refine.Options{Solver: lp.Bounded{}}})
-	if e3.opt.RefineOptions.Solver != (lp.Bounded{}) {
-		t.Fatalf("distinct refine solver was replaced by %T", e3.opt.RefineOptions.Solver)
+	if e3.opt.RefineOptions.Solver == e3.opt.Solver {
+		t.Fatal("distinct refine solver was replaced by the balance session")
+	}
+	if got := e3.opt.RefineOptions.Solver.Name(); got != "bounded" {
+		t.Fatalf("refine session name %q, want %q", got, "bounded")
+	}
+	if _, ok := e3.opt.RefineOptions.Solver.(lp.ParallelSolver); !ok {
+		t.Fatalf("refine bounded session %T is not a ParallelSolver", e3.opt.RefineOptions.Solver)
 	}
 	// Even one sharing the balance solver's name: only the *identical
 	// instance* shares a session, so a differently configured refine

@@ -4,10 +4,12 @@ import (
 	"context"
 	"math/rand"
 	"reflect"
+	"slices"
 	"testing"
 
 	"repro/internal/graph"
 	"repro/internal/layering"
+	"repro/internal/partition"
 	"repro/internal/refine"
 )
 
@@ -238,6 +240,75 @@ func TestSteadyStateParallelGainsAllocs(t *testing.T) {
 	})
 	if allocs > 0 {
 		t.Fatalf("steady-state parallel Gains allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestParallelSortedBoundaryEquivalence: the sharded sort + k-way merge
+// behind the cut reports must reproduce the sequential ascending sort
+// exactly, on a boundary large enough to take the parallel path, and
+// keep doing so across calls (the two scratch buffers swap roles).
+func TestParallelSortedBoundaryEquivalence(t *testing.T) {
+	for _, procs := range []int{2, 3, 7} {
+		g, a := editableGraph(t, 3000, 8, 11)
+		e := New(g, Options{Parallelism: procs})
+		e.sync(a)
+		want := append([]graph.Vertex(nil), e.boundary...)
+		slices.Sort(want)
+		if len(want) < parCutSortMin {
+			t.Fatalf("boundary has %d vertices, below parCutSortMin=%d — the parallel path is untested",
+				len(want), parCutSortMin)
+		}
+		for call := 0; call < 3; call++ {
+			got := e.sortedBoundary()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("procs=%d call %d: sorted boundary diverges from sequential sort", procs, call)
+			}
+		}
+	}
+}
+
+// TestParallelOrphanClusteringEquivalence: a large disconnected cluster
+// of new vertices floods level-synchronously over the worker group; the
+// resulting assignment and fallback count must match the sequential
+// engine exactly.
+func TestParallelOrphanClusteringEquivalence(t *testing.T) {
+	build := func(procs int) (*partition.Assignment, int, int) {
+		g, a := editableGraph(t, 400, 6, 13)
+		e := New(g, Options{Parallelism: procs})
+		e.sync(a) // warm the journal so the blob arrives as a delta
+		// A hub-and-spoke blob, disconnected from the old region: the
+		// level-1 frontier is all 199 spokes, far above parAsgMin.
+		blob := make([]graph.Vertex, 200)
+		for i := range blob {
+			blob[i] = g.AddVertex(1)
+		}
+		a.Grow(g.Order())
+		for i := 1; i < len(blob); i++ {
+			if err := g.AddEdge(blob[0], blob[i], 1); err != nil {
+				t.Fatal(err)
+			}
+			if j := (i * 7) % len(blob); j != i {
+				g.AddEdgeIfAbsent(blob[i], blob[j], 1)
+			}
+		}
+		assigned, fallbacks, err := e.assign(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a, assigned, fallbacks
+	}
+	aSeq, nSeq, fSeq := build(1)
+	if fSeq != 1 {
+		t.Fatalf("sequential run placed %d fallback clusters, want 1", fSeq)
+	}
+	for _, procs := range []int{2, 3, 7} {
+		a, n, f := build(procs)
+		if n != nSeq || f != fSeq {
+			t.Fatalf("procs=%d: assigned/fallbacks %d/%d, want %d/%d", procs, n, f, nSeq, fSeq)
+		}
+		if !reflect.DeepEqual(a.Part, aSeq.Part) {
+			t.Fatalf("procs=%d: orphan clustering assignment diverges from sequential", procs)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/cancel"
+	"repro/internal/par"
 )
 
 // Bounded is a two-phase simplex with the upper-bound technique: variable
@@ -15,6 +16,14 @@ import (
 // balance and refine LPs are almost all bounds, making this dramatically
 // smaller than the paper's dense formulation — it is the ablation that
 // quantifies that design choice.
+//
+// Bounded is a stateless configuration value; Solve runs each problem
+// through a throwaway session, so the returned Solution is freshly
+// allocated and concurrent Solve calls are safe. It also implements
+// [SessionSolver]: NewSession returns a stateful instance whose tableau,
+// kernel and Solution arenas are reused across solves — the form the
+// engine holds, which makes warm steady-state solves allocation-free and
+// lets [WithWorkers] shard the simplex kernels over a worker group.
 type Bounded struct {
 	MaxIter    int // 0 = default 200000
 	BlandAfter int // 0 = default 5000
@@ -23,14 +32,72 @@ type Bounded struct {
 // Name implements Solver.
 func (Bounded) Name() string { return "bounded" }
 
+func (s Bounded) maxIter() int {
+	if s.MaxIter == 0 {
+		return 200000
+	}
+	return s.MaxIter
+}
+
+func (s Bounded) blandAfter() int {
+	if s.BlandAfter == 0 {
+		return 5000
+	}
+	return s.BlandAfter
+}
+
+// NewSession implements [SessionSolver]: a private stateful instance for
+// one solve stream, with reused arenas and optional kernel sharding.
+func (s Bounded) NewSession() Solver {
+	return &boundedSession{maxIter: s.maxIter(), blandAfter: s.blandAfter()}
+}
+
+// Solve implements Solver via a throwaway session, so the result does
+// not alias any reused state.
+func (s Bounded) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	ses := boundedSession{maxIter: s.maxIter(), blandAfter: s.blandAfter()}
+	return ses.Solve(ctx, p)
+}
+
+// boundedSession is the stateful form of [Bounded]: one solve stream's
+// tableau state, column-sharded kernel plan and Solution arena. Not safe
+// for concurrent use — like every session solver it belongs to one
+// engine (or one goroutine).
+type boundedSession struct {
+	maxIter    int
+	blandAfter int
+	st         boundedState
+	pp         lpPar // column-sharded kernel state (see parallel.go)
+
+	// Solution arena: Solve returns &sol, overwritten by the next Solve
+	// on this session.
+	sol  Solution
+	solX []float64
+}
+
+// Name implements Solver.
+func (s *boundedSession) Name() string { return "bounded" }
+
+// SetWorkers implements [ParallelSolver]; see DualWarm.SetWorkers.
+func (s *boundedSession) SetWorkers(grp *par.Group, workers int) {
+	s.pp.grp, s.pp.procs = grp, workers
+}
+
+// ParallelSolves implements [ParallelSolver].
+func (s *boundedSession) ParallelSolves() int { return s.pp.solves }
+
 type boundedState struct {
 	rows     [][]float64 // m × nCols, maintained as B⁻¹A
 	xB       []float64   // values of basic variables
 	basis    []int
 	atUpper  []bool    // nonbasic-at-upper flags, indexed by column
+	basic    []bool    // in-basis flags, rebuilt per iterate call
 	upper    []float64 // per-column upper bound (Inf for slacks/artificials)
 	cost     []float64
 	origCost []float64
+	p1cost   []float64 // phase-1 costs: 1 on artificials, 0 elsewhere
+	d        []float64 // reduced costs
+	m        int
 	nStruct  int
 	artStart int
 	nCols    int
@@ -38,95 +105,71 @@ type boundedState struct {
 	iters    int
 }
 
-// Solve implements Solver.
-func (s Bounded) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+// Solve implements Solver. Like every session solver, the returned
+// *Solution (including X) is an arena overwritten by this session's
+// next Solve.
+func (s *boundedSession) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	st, err := newBoundedState(p)
-	if err != nil {
-		return nil, err
-	}
-	maxIter := s.MaxIter
-	if maxIter == 0 {
-		maxIter = 200000
-	}
-	blandAfter := s.BlandAfter
-	if blandAfter == 0 {
-		blandAfter = 5000
-	}
+	st := &s.st
+	st.build(p)
+	s.pp.begin(st.m, st.nCols, st.rows, st.d, st.upper, st.basic, st.atUpper)
 
 	// Phase 1.
 	needPhase1 := false
-	for _, b := range st.basis {
+	for _, b := range st.basis[:st.m] {
 		if b >= st.artStart {
 			needPhase1 = true
 			break
 		}
 	}
 	if needPhase1 {
-		st.cost = make([]float64, st.nCols)
-		for j := st.artStart; j < st.nCols; j++ {
-			st.cost[j] = 1
-		}
-		status, err := st.iterate(ctx, maxIter, blandAfter, false)
+		st.cost = st.p1cost
+		status, err := st.iterate(ctx, s.maxIter, s.blandAfter, false, &s.pp)
 		if err != nil {
 			return nil, err
 		}
 		if status == IterLimit {
-			return &Solution{Status: IterLimit, Iterations: st.iters}, nil
+			return s.finish(IterLimit), nil
 		}
 		if status == Unbounded {
 			return nil, fmt.Errorf("lp: bounded: phase 1 unbounded (internal error)")
 		}
 		if z := st.phase1Value(); z > 1e-7 {
-			return &Solution{Status: Infeasible, Iterations: st.iters}, nil
+			return s.finish(Infeasible), nil
 		}
 		st.expelArtificials()
 	}
 
 	st.cost = st.origCost
-	status, err := st.iterate(ctx, maxIter, blandAfter, true)
+	status, err := st.iterate(ctx, s.maxIter, s.blandAfter, true, &s.pp)
 	if err != nil {
 		return nil, err
 	}
-	switch status {
-	case IterLimit:
-		return &Solution{Status: IterLimit, Iterations: st.iters}, nil
-	case Unbounded:
-		return &Solution{Status: Unbounded, Iterations: st.iters}, nil
-	}
-	return st.extract(), nil
+	return s.finish(status), nil
 }
 
-func newBoundedState(p *Problem) (*boundedState, error) {
+// build lays out p in the session's standard form, reusing every arena.
+// RHS-negative rows are folded in by sign instead of materializing
+// negated term copies: row[t.Var] += sign·t.Coef and rhs = sign·RHS are
+// the exact float operations the old negated-copy construction
+// performed, so the tableau is bit-identical to it.
+func (st *boundedState) build(p *Problem) {
 	n := p.NumVars()
-	type row struct {
-		terms []Term
-		rel   Rel
-		rhs   float64
-	}
-	rowsIn := make([]row, len(p.Cons))
-	for i, c := range p.Cons {
-		rowsIn[i] = row{c.Terms, c.Rel, c.RHS}
-	}
+	m := len(p.Cons)
 	nSlack, nArt := 0, 0
-	for i := range rowsIn {
-		if rowsIn[i].rhs < 0 {
-			nt := make([]Term, len(rowsIn[i].terms))
-			for k, t := range rowsIn[i].terms {
-				nt[k] = Term{t.Var, -t.Coef}
-			}
-			rowsIn[i].terms = nt
-			rowsIn[i].rhs = -rowsIn[i].rhs
-			switch rowsIn[i].rel {
+	for _, c := range p.Cons {
+		rel := c.Rel
+		if c.RHS < 0 {
+			switch rel {
 			case LE:
-				rowsIn[i].rel = GE
+				rel = GE
 			case GE:
-				rowsIn[i].rel = LE
+				rel = LE
 			}
 		}
-		switch rowsIn[i].rel {
+		switch rel {
 		case LE:
 			nSlack++
 		case GE:
@@ -136,60 +179,81 @@ func newBoundedState(p *Problem) (*boundedState, error) {
 			nArt++
 		}
 	}
-	m := len(rowsIn)
-	st := &boundedState{
-		nStruct:  n,
-		artStart: n + nSlack,
-		nCols:    n + nSlack + nArt,
-		flip:     p.Sense == Maximize,
-	}
-	st.rows = make([][]float64, m)
-	st.xB = make([]float64, m)
-	st.basis = make([]int, m)
-	st.atUpper = make([]bool, st.nCols)
-	st.upper = make([]float64, st.nCols)
-	for j := range st.upper {
+	st.m = m
+	st.nStruct = n
+	st.artStart = n + nSlack
+	st.nCols = n + nSlack + nArt
+	st.flip = p.Sense == Maximize
+	st.iters = 0
+	st.rows = growRows(st.rows, m, st.nCols)
+	st.xB = growF(st.xB, m)
+	st.basis = growI(st.basis, m)
+	st.atUpper = growB(st.atUpper, st.nCols)
+	st.basic = growB(st.basic, st.nCols)
+	st.upper = growF(st.upper, st.nCols)
+	st.origCost = growF(st.origCost, st.nCols)
+	st.p1cost = growF(st.p1cost, st.nCols)
+	st.d = growF(st.d, st.nCols)
+	for j := 0; j < st.nCols; j++ {
+		st.atUpper[j] = false
 		st.upper[j] = Inf
+		st.origCost[j] = 0
+		st.p1cost[j] = 0
 	}
 	copy(st.upper, p.Upper)
+	for j := st.artStart; j < st.nCols; j++ {
+		st.p1cost[j] = 1
+	}
 
 	slackCol, artCol := n, st.artStart
-	for i, r := range rowsIn {
-		st.rows[i] = make([]float64, st.nCols)
-		for _, tm := range r.terms {
-			st.rows[i][tm.Var] += tm.Coef
+	for i, c := range p.Cons {
+		row := st.rows[i]
+		for j := range row {
+			row[j] = 0
 		}
-		st.xB[i] = r.rhs
-		switch r.rel {
+		sign := 1.0
+		rel := c.Rel
+		if c.RHS < 0 {
+			sign = -1
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		for _, tm := range c.Terms {
+			row[tm.Var] += sign * tm.Coef
+		}
+		st.xB[i] = sign * c.RHS
+		switch rel {
 		case LE:
-			st.rows[i][slackCol] = 1
+			row[slackCol] = 1
 			st.basis[i] = slackCol
 			slackCol++
 		case GE:
-			st.rows[i][slackCol] = -1
+			row[slackCol] = -1
 			slackCol++
-			st.rows[i][artCol] = 1
+			row[artCol] = 1
 			st.basis[i] = artCol
 			artCol++
 		case EQ:
-			st.rows[i][artCol] = 1
+			row[artCol] = 1
 			st.basis[i] = artCol
 			artCol++
 		}
 	}
-	st.origCost = make([]float64, st.nCols)
 	for v, c := range p.Obj {
 		if st.flip {
 			c = -c
 		}
 		st.origCost[v] = c
 	}
-	return st, nil
 }
 
 func (st *boundedState) phase1Value() float64 {
 	var z float64
-	for i, b := range st.basis {
+	for i, b := range st.basis[:st.m] {
 		if b >= st.artStart {
 			z += st.xB[i]
 		}
@@ -197,25 +261,8 @@ func (st *boundedState) phase1Value() float64 {
 	return z
 }
 
-// reducedCosts computes d_j = c_j − c_B·(B⁻¹A)_j.
-func (st *boundedState) reducedCosts() []float64 {
-	d := make([]float64, st.nCols)
-	copy(d, st.cost)
-	for i, bi := range st.basis {
-		cb := st.cost[bi]
-		if cb == 0 {
-			continue
-		}
-		row := st.rows[i]
-		for j := range d {
-			d[j] -= cb * row[j]
-		}
-	}
-	return d
-}
-
 func (st *boundedState) isBasic(j int) bool {
-	for _, b := range st.basis {
+	for _, b := range st.basis[:st.m] {
 		if b == j {
 			return true
 		}
@@ -224,11 +271,26 @@ func (st *boundedState) isBasic(j int) bool {
 }
 
 // iterate runs bounded-variable simplex pivots for the current cost.
-func (st *boundedState) iterate(ctx context.Context, maxIter, blandAfter int, banArtificials bool) (Status, error) {
-	d := st.reducedCosts()
-	basic := make([]bool, st.nCols)
-	for _, b := range st.basis {
-		basic[b] = true
+// The O(nCols) repricing, entering scan and O(m·nCols) tableau update
+// run through the column-sharded kernels (parallel.go); the O(m) ratio
+// test and basic-value updates stay sequential.
+func (st *boundedState) iterate(ctx context.Context, maxIter, blandAfter int, banArtificials bool, pp *lpPar) (Status, error) {
+	// Reduced costs d = c − c_B·B⁻¹A through the shared reprice kernel.
+	for i, bi := range st.basis[:st.m] {
+		pp.cbv[i] = st.cost[bi]
+	}
+	pp.cost = st.cost
+	pp.runReprice(st.nCols)
+	d := st.d
+	for j := 0; j < st.nCols; j++ {
+		st.basic[j] = false
+	}
+	for _, b := range st.basis[:st.m] {
+		st.basic[b] = true
+	}
+	pp.limit = st.nCols
+	if banArtificials {
+		pp.limit = st.artStart
 	}
 	for {
 		if st.iters >= maxIter {
@@ -241,33 +303,8 @@ func (st *boundedState) iterate(ctx context.Context, maxIter, blandAfter int, ba
 		}
 		bland := st.iters >= blandAfter
 		// Entering column: nonbasic at lower with d<0, or at upper with d>0.
-		enter := -1
-		var best float64
-		limit := st.nCols
-		if banArtificials {
-			limit = st.artStart
-		}
-		for j := 0; j < limit; j++ {
-			if basic[j] {
-				continue
-			}
-			var viol float64
-			if st.atUpper[j] {
-				viol = d[j] // positive is improving
-			} else {
-				viol = -d[j] // negative d is improving
-			}
-			if viol > feasTol {
-				if bland {
-					enter = j
-					break
-				}
-				if viol > best {
-					best = viol
-					enter = j
-				}
-			}
-		}
+		pp.bland = bland
+		enter := pp.runPrice()
 		if enter < 0 {
 			return Optimal, nil
 		}
@@ -341,36 +378,27 @@ func (st *boundedState) iterate(ctx context.Context, maxIter, blandAfter int, ba
 		}
 		leaveCol := st.basis[leave]
 		st.atUpper[leaveCol] = leaveToUpper
-		basic[leaveCol] = false
-		basic[enter] = true
+		st.basic[leaveCol] = false
+		st.basic[enter] = true
 		st.atUpper[enter] = false
 
-		piv := st.rows[leave][enter]
-		inv := 1 / piv
+		// Column-sharded row-eta update; see dualIterate for the fvec
+		// snapshot/patch-up protocol.
 		rowL := st.rows[leave]
-		for j := range rowL {
-			rowL[j] *= inv
+		fd := d[enter]
+		for i := 0; i < st.m; i++ {
+			pp.fvec[i] = st.rows[i][enter]
 		}
+		pp.rowL, pp.skip, pp.inv, pp.fd, pp.withD = rowL, leave, 1/st.rows[leave][enter], fd, true
+		pp.runElim(st.nCols)
 		rowL[enter] = 1
-		for i := range st.rows {
-			if i == leave {
+		for i := 0; i < st.m; i++ {
+			if i == leave || pp.fvec[i] == 0 {
 				continue
 			}
-			f := st.rows[i][enter]
-			if f == 0 {
-				continue
-			}
-			ri := st.rows[i]
-			for j := range ri {
-				ri[j] -= f * rowL[j]
-			}
-			ri[enter] = 0
+			st.rows[i][enter] = 0
 		}
-		f := d[enter]
-		if f != 0 {
-			for j := range d {
-				d[j] -= f * rowL[j]
-			}
+		if fd != 0 {
 			d[enter] = 0
 		}
 		st.basis[leave] = enter
@@ -379,9 +407,10 @@ func (st *boundedState) iterate(ctx context.Context, maxIter, blandAfter int, ba
 	}
 }
 
-// expelArtificials mirrors the dense solver's basis cleanup.
+// expelArtificials mirrors the dense solver's basis cleanup. It runs at
+// most once per solve on a handful of rows, so it stays sequential.
 func (st *boundedState) expelArtificials() {
-	for i := range st.basis {
+	for i := range st.basis[:st.m] {
 		if st.basis[i] < st.artStart {
 			continue
 		}
@@ -433,14 +462,25 @@ func (st *boundedState) expelArtificials() {
 	}
 }
 
-func (st *boundedState) extract() *Solution {
-	x := make([]float64, st.nStruct)
+// finish extracts the finished state into the session's Solution arena
+// (X is zeroed explicitly — growF does not zero).
+func (s *boundedSession) finish(status Status) *Solution {
+	st := &s.st
+	s.sol = Solution{Status: status, Iterations: st.iters}
+	if status != Optimal {
+		return &s.sol
+	}
+	s.solX = growF(s.solX, st.nStruct)
+	x := s.solX
+	for j := range x {
+		x[j] = 0
+	}
 	for j := 0; j < st.nStruct; j++ {
 		if st.atUpper[j] {
 			x[j] = st.upper[j]
 		}
 	}
-	for i, b := range st.basis {
+	for i, b := range st.basis[:st.m] {
 		if b < st.nStruct {
 			x[b] = st.xB[i]
 		}
@@ -452,5 +492,7 @@ func (st *boundedState) extract() *Solution {
 	if st.flip {
 		obj = -obj
 	}
-	return &Solution{Status: Optimal, X: x, Objective: obj, Iterations: st.iters}
+	s.sol.X = x
+	s.sol.Objective = obj
+	return &s.sol
 }

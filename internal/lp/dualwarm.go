@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/cancel"
+	"repro/internal/par"
 )
 
 // DualWarm is a warm-started bounded-variable dual simplex. It exists
@@ -52,6 +53,12 @@ type DualWarm struct {
 	cache map[uint64]*dwEntry
 	order []uint64 // insertion order, for eviction
 	scr   dwScratch
+	pp    lpPar // column-sharded kernel state (see parallel.go)
+
+	// Solution arena: Solve returns &sol, overwritten by the next Solve
+	// on this instance (see the Solve doc).
+	sol  Solution
+	solX []float64
 
 	warm, cold int // solve counters (see Counts)
 }
@@ -76,6 +83,24 @@ func (s *DualWarm) Counts() (warm, cold int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.warm, s.cold
+}
+
+// SetWorkers implements [ParallelSolver]: subsequent solves shard the
+// simplex kernels over grp with up to the given worker count (≤ 1, or a
+// nil group, keeps the sequential path). Results are bit-identical for
+// every worker count.
+func (s *DualWarm) SetWorkers(grp *par.Group, workers int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pp.grp, s.pp.procs = grp, workers
+}
+
+// ParallelSolves implements [ParallelSolver]: how many solves actually
+// forked the worker group (reached the per-pivot work threshold).
+func (s *DualWarm) ParallelSolves() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pp.solves
 }
 
 // dwEntry is one retained basis: the structural snapshot that produced
@@ -139,6 +164,12 @@ const dwViolTol = 1e-7
 // matches p's structure, falling back to the cold dual start (or, for
 // problems the dual method cannot start, to the primal [Bounded]
 // solver) whenever refactorization or dual-feasibility repair fails.
+//
+// The returned *Solution (including its X vector) is an arena owned by
+// this DualWarm, overwritten by its next Solve call — callers that hold
+// a result across solves must copy what they need first. The engine's
+// balance and refine phases consume each solution before the next
+// solve, which is what makes warm steady-state solves allocation-free.
 func (s *DualWarm) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -266,6 +297,7 @@ func (s *DualWarm) solveCold(ctx context.Context, p *Problem) (sol *Solution, ha
 	}
 	st := &s.scr
 	st.build(p)
+	s.beginPar()
 	for j := 0; j < st.nCols; j++ {
 		st.atUpper[j] = j < st.n && st.cost[j] < 0 && st.upper[j] > 0 && !math.IsInf(st.upper[j], 1)
 		st.inBasis[j] = j >= st.n
@@ -275,11 +307,19 @@ func (s *DualWarm) solveCold(ctx context.Context, p *Problem) (sol *Solution, ha
 	}
 	copy(st.d, st.cost)
 	st.computeXB()
-	status, err := st.dualIterate(ctx, s.maxIter(), s.blandAfter())
+	status, err := st.dualIterate(ctx, s.maxIter(), s.blandAfter(), &s.pp)
 	if err != nil {
 		return nil, false, err
 	}
-	return st.result(status), true, nil
+	return s.result(status), true, nil
+}
+
+// beginPar plans the freshly built scratch's kernel execution (inline
+// or sharded; see lpPar.begin).
+func (s *DualWarm) beginPar() {
+	st := &s.scr
+	s.pp.begin(st.m, st.nCols, st.rows, st.d, st.upper, st.inBasis, st.atUpper)
+	s.pp.cost = st.cost
 }
 
 // solveWarm refactorizes the retained basis for p and resumes dual
@@ -290,6 +330,7 @@ func (s *DualWarm) solveCold(ctx context.Context, p *Problem) (sol *Solution, ha
 func (s *DualWarm) solveWarm(ctx context.Context, p *Problem, e *dwEntry) (sol *Solution, ok bool, err error) {
 	st := &s.scr
 	st.build(p)
+	s.beginPar()
 	copy(st.basis, e.basis)
 	copy(st.atUpper, e.atUpper)
 	for j := range st.inBasis[:st.nCols] {
@@ -298,21 +339,14 @@ func (s *DualWarm) solveWarm(ctx context.Context, p *Problem, e *dwEntry) (sol *
 	for _, b := range st.basis[:st.m] {
 		st.inBasis[b] = true
 	}
-	if !st.refactorize() {
+	if !st.refactorize(&s.pp) {
 		return nil, false, nil
 	}
-	// Reprice: d = c − c_B·B⁻¹A.
-	copy(st.d, st.cost)
+	// Reprice: d = c − c_B·B⁻¹A, column-sharded (see parallel.go).
 	for i, bi := range st.basis[:st.m] {
-		cb := st.cost[bi]
-		if cb == 0 {
-			continue
-		}
-		row := st.rows[i]
-		for j := 0; j < st.nCols; j++ {
-			st.d[j] -= cb * row[j]
-		}
+		s.pp.cbv[i] = st.cost[bi]
 	}
+	s.pp.runReprice(st.nCols)
 	for _, bi := range st.basis[:st.m] {
 		st.d[bi] = 0
 	}
@@ -334,11 +368,11 @@ func (s *DualWarm) solveWarm(ctx context.Context, p *Problem, e *dwEntry) (sol *
 		}
 	}
 	st.computeXB()
-	status, err := st.dualIterate(ctx, s.maxIter(), s.blandAfter())
+	status, err := st.dualIterate(ctx, s.maxIter(), s.blandAfter(), &s.pp)
 	if err != nil {
 		return nil, false, err
 	}
-	return st.result(status), true, nil
+	return s.result(status), true, nil
 }
 
 // refactorize reduces the basis columns of the freshly built tableau to
@@ -346,8 +380,10 @@ func (s *DualWarm) solveWarm(ctx context.Context, p *Problem, e *dwEntry) (sol *
 // rhs into B⁻¹b. Row↔column pairing is re-derived with partial
 // pivoting, so any nonsingular basis order works; it reports false when
 // the retained basis has gone singular for the new data (it cannot —
-// structure is verified — but roundoff is checked anyway).
-func (st *dwScratch) refactorize() bool {
+// structure is verified — but roundoff is checked anyway). The pivot
+// search and rhs updates are O(m) and stay sequential; the O(m·nCols)
+// elimination runs through the column-sharded kernel.
+func (st *dwScratch) refactorize(pp *lpPar) bool {
 	m := st.m
 	st.pairing = growI(st.pairing, m)
 	for i := 0; i < m; i++ {
@@ -372,24 +408,22 @@ func (st *dwScratch) refactorize() bool {
 		st.pairing[r] = col
 		rowR := st.rows[r]
 		inv := 1 / rowR[col]
-		for j := range rowR {
-			rowR[j] *= inv
+		for i := 0; i < m; i++ {
+			pp.fvec[i] = st.rows[i][col]
 		}
+		pp.rowL, pp.skip, pp.inv, pp.withD = rowR, r, inv, false
+		pp.runElim(st.nCols)
 		rowR[col] = 1
 		st.rhs[r] *= inv
 		for i := 0; i < m; i++ {
 			if i == r {
 				continue
 			}
-			f := st.rows[i][col]
+			f := pp.fvec[i]
 			if f == 0 {
 				continue
 			}
-			ri := st.rows[i]
-			for j := range ri {
-				ri[j] -= f * rowR[j]
-			}
-			ri[col] = 0
+			st.rows[i][col] = 0
 			st.rhs[i] -= f * st.rhs[r]
 		}
 	}
@@ -421,7 +455,11 @@ func (st *dwScratch) computeXB() {
 // Starting dual feasible, it terminates Optimal (no violations left) or
 // Infeasible (a violated row with no eligible entering column certifies
 // primal infeasibility); Unbounded cannot occur on the dual path.
-func (st *dwScratch) dualIterate(ctx context.Context, maxIter, blandAfter int) (Status, error) {
+//
+// The O(nCols) ratio test and the O(m·nCols) tableau update run through
+// the column-sharded kernels (parallel.go); the O(m) leaving scan and
+// basic-value updates stay sequential.
+func (st *dwScratch) dualIterate(ctx context.Context, maxIter, blandAfter int, pp *lpPar) (Status, error) {
 	m, nCols := st.m, st.nCols
 	for {
 		if st.iters >= maxIter {
@@ -463,34 +501,24 @@ func (st *dwScratch) dualIterate(ctx context.Context, maxIter, blandAfter int) (
 		// Dual ratio test: among nonbasic columns whose pivot sign can
 		// move x_B[leave] toward its violated bound, the one with the
 		// smallest |d_j|/|α_j| keeps every reduced cost on its feasible
-		// side. Ratio ties prefer the larger |α| (stability); under
-		// Bland's rule the ascending scan keeps the smallest index.
+		// side. Two order-independent passes (so per-shard candidates
+		// merge exactly): the exact minimum ratio first, then — within
+		// the tolerance band above it — the largest |α| (stability),
+		// ties to the smallest column; Bland's rule takes the first
+		// in-band column instead.
 		rowL := st.rows[leave]
-		enter := -1
-		minRatio, bestAlpha := math.Inf(1), 0.0
-		for j := 0; j < nCols; j++ {
-			if st.inBasis[j] || st.upper[j] == 0 {
-				continue // fixed columns never enter
-			}
-			alpha := rowL[j]
-			var eligible bool
-			if st.atUpper[j] {
-				eligible = alpha*dir > feasTol // entering decreases from its upper bound
-			} else {
-				eligible = alpha*dir < -feasTol // entering increases from its lower bound
-			}
-			if !eligible {
-				continue
-			}
-			abs := math.Abs(alpha)
-			ratio := math.Abs(st.d[j]) / abs
-			if ratio < minRatio-1e-9 || (!bland && ratio < minRatio+1e-9 && abs > bestAlpha) {
-				minRatio, bestAlpha, enter = ratio, abs, j
-			}
-		}
-		if enter < 0 {
+		pp.rowL, pp.dir, pp.bland = rowL, dir, bland
+		minRatio := pp.runRatioMin(nCols)
+		if math.IsInf(minRatio, 1) {
 			// The violated row's basic variable cannot be moved toward its
 			// bound by any admissible column: primal infeasible.
+			return Infeasible, nil
+		}
+		pp.minRatio = minRatio
+		enter := pp.runRatioPick(nCols)
+		if enter < 0 {
+			// Unreachable (the minimizing column is always in-band), but
+			// fail safe rather than pivot on a bogus column.
 			return Infeasible, nil
 		}
 
@@ -517,34 +545,29 @@ func (st *dwScratch) dualIterate(ctx context.Context, maxIter, blandAfter int) (
 			st.clampXB(i)
 		}
 
-		// Basis exchange + tableau pivot.
+		// Basis exchange + tableau pivot, column-sharded: fvec snapshots
+		// the pivot-column multipliers first so no worker reads a column
+		// another worker is rewriting, then the kernel scales rowL,
+		// eliminates every other row and folds in the reduced-cost
+		// update; the pivot column's exact 1/0 patch-up follows the join.
 		leaveCol := st.basis[leave]
 		st.atUpper[leaveCol] = dir < 0
 		st.inBasis[leaveCol] = false
 		st.inBasis[enter] = true
-		inv := 1 / alpha
-		for j := range rowL {
-			rowL[j] *= inv
+		fd := st.d[enter]
+		for i := 0; i < m; i++ {
+			pp.fvec[i] = st.rows[i][enter]
 		}
+		pp.skip, pp.inv, pp.fd, pp.withD = leave, 1/alpha, fd, true
+		pp.runElim(nCols)
 		rowL[enter] = 1
 		for i := 0; i < m; i++ {
-			if i == leave {
+			if i == leave || pp.fvec[i] == 0 {
 				continue
 			}
-			f := st.rows[i][enter]
-			if f == 0 {
-				continue
-			}
-			ri := st.rows[i]
-			for j := range ri {
-				ri[j] -= f * rowL[j]
-			}
-			ri[enter] = 0
+			st.rows[i][enter] = 0
 		}
-		if f := st.d[enter]; f != 0 {
-			for j := 0; j < nCols; j++ {
-				st.d[j] -= f * rowL[j]
-			}
+		if fd != 0 {
 			st.d[enter] = 0
 		}
 		st.basis[leave] = enter
@@ -566,12 +589,20 @@ func (st *dwScratch) clampXB(i int) {
 	}
 }
 
-// result extracts a Solution for the finished scratch state.
-func (st *dwScratch) result(status Status) *Solution {
+// result extracts the finished scratch state into the solver's Solution
+// arena (growF does not zero, so X is cleared explicitly — the contract
+// the old per-solve make() provided implicitly).
+func (s *DualWarm) result(status Status) *Solution {
+	st := &s.scr
+	s.sol = Solution{Status: status, Iterations: st.iters}
 	if status != Optimal {
-		return &Solution{Status: status, Iterations: st.iters}
+		return &s.sol
 	}
-	x := make([]float64, st.n)
+	s.solX = growF(s.solX, st.n)
+	x := s.solX
+	for j := range x {
+		x[j] = 0
+	}
 	for j := 0; j < st.n; j++ {
 		if st.atUpper[j] && !st.inBasis[j] {
 			x[j] = st.upper[j]
@@ -589,7 +620,9 @@ func (st *dwScratch) result(status Status) *Solution {
 	if st.flip {
 		obj = -obj
 	}
-	return &Solution{Status: Optimal, X: x, Objective: obj, Iterations: st.iters}
+	s.sol.X = x
+	s.sol.Objective = obj
+	return &s.sol
 }
 
 // GrowFloats resizes a reusable float slice to length n without

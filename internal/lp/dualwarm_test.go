@@ -30,8 +30,10 @@ func TestDualWarmResolveSameProblemZeroPivots(t *testing.T) {
 	if first.Iterations == 0 {
 		t.Fatal("cold solve took 0 pivots; the warm comparison below would be vacuous")
 	}
+	// first aliases the session's Solution arena; snapshot before re-solving.
+	firstObj := first.Objective
 	again := mustSolve(t, s, p)
-	if again.Status != Optimal || math.Abs(again.Objective-first.Objective) > 1e-9 {
+	if again.Status != Optimal || math.Abs(again.Objective-firstObj) > 1e-9 {
 		t.Fatalf("re-solve diverged: %v obj %g", again.Status, again.Objective)
 	}
 	if again.Iterations != 0 {

@@ -83,17 +83,19 @@ func FuzzSolverAgreement(f *testing.F) {
 		}
 		p2 := perturbLP(p, data, false) // new RHS and bounds, same costs
 		p3 := perturbLP(p, data, true)  // new costs too
-		first := solve("dual-warm/session-first", ses, p)
+		// Session solutions are arenas overwritten by the session's next
+		// Solve, so snapshot the first solve's status before re-solving.
+		firstStatus := solve("dual-warm/session-first", ses, p).Status
 		warm := solve("dual-warm/session-warm", ses, p2)
 		cold := solve("dual-warm/fresh-cold", Session(dw), p2)
 		refP2 := solve("bounded/perturbed", Bounded{MaxIter: 20000}, p2)
-		if first.Status == IterLimit || warm.Status == IterLimit ||
+		if firstStatus == IterLimit || warm.Status == IterLimit ||
 			cold.Status == IterLimit || refP2.Status == IterLimit {
 			return
 		}
 		agree("dual-warm/session-warm vs cold", warm, cold)
 		agree("dual-warm/session-warm vs bounded", warm, refP2)
-		if first.Status == Optimal {
+		if firstStatus == Optimal {
 			// Unchanged costs keep the retained basis dual feasible, so the
 			// second solve must have resumed from it rather than re-solving
 			// cold — this is the pipeline's successive-balance-stage shape.

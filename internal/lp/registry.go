@@ -41,9 +41,17 @@ type SessionSolver interface {
 // (stateless solvers need no scoping). The engine calls this at
 // construction so a registered warm-started solver's basis lifetime is
 // tied to the engine session rather than shared process-globally.
-func Session(s Solver) Solver {
+//
+// Options ([WithWorkers], …) configure the private instance; they are
+// applied to the forked session, never to the registered template, so
+// wiring a worker group into one engine's session cannot leak into
+// another's.
+func Session(s Solver, opts ...SessionOption) Solver {
 	if ss, ok := s.(SessionSolver); ok {
-		return ss.NewSession()
+		s = ss.NewSession()
+	}
+	for _, o := range opts {
+		o(s)
 	}
 	return s
 }

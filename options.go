@@ -179,15 +179,18 @@ func WithBatches(k int) Option {
 
 // WithParallelism sets the worker count n ≥ 1 for the engine's sharded
 // multi-core kernels — the incremental boundary recompute, the layering
-// BFS level expansion and the refinement gain scan. The default is
-// runtime.GOMAXPROCS(0); n = 1 selects the exact sequential code path.
+// BFS level expansion, the refinement gain scan, the sorted cut report,
+// the orphan-cluster flood, and the LP simplex kernels (column-sharded
+// pricing, ratio test and tableau update inside the balance and refine
+// solves). The default is runtime.GOMAXPROCS(0); n = 1 selects the
+// exact sequential code path.
 //
 // Parallelism is purely a latency property: results are bit-identical
-// to the sequential engine's for every worker count (vertex work is
-// sharded deterministically and per-worker results merge in shard
-// order — fuzz-verified), and all phases that are not sharded (the LP
-// solves, the movers) run sequentially regardless. Per-worker busy
-// time is reported in [Stats.WorkerBusy].
+// to the sequential engine's for every worker count (work is sharded
+// deterministically and per-worker results merge in shard order, or by
+// a total order for the simplex argmin candidates — fuzz-verified).
+// Per-worker busy time is reported in [Stats.WorkerBusy], and
+// [Stats.LPParallel] counts the LP solves that actually forked.
 func WithParallelism(n int) Option {
 	return func(c *config) error {
 		if n < 1 {

@@ -92,6 +92,19 @@ echo "$phases"
 procs_rows="$procs_rows,
     $phases"
 
+# LP-phase scaling rows: the first mesh-B refinement at P=128 — LPs big
+# enough that the simplex kernels shard — once per worker count, so the
+# trajectory records balance/refine wall clock versus workers and the
+# lp_parallel counter proving the LP kernels forked. Appended to the
+# same phase_timings_by_procs list; the rows are distinguished by their
+# "workload" field.
+echo "== LP-phase scaling (igpbench -table lp-procs) =="
+while IFS= read -r row; do
+    echo "$row"
+    procs_rows="$procs_rows,
+    $row"
+done < <(go run ./cmd/igpbench -table lp-procs)
+
 # Incremental-edit workload: warm k-edit Repartition cost vs delta size
 # on both mesh families, against the WithFullRefresh full-recomputation
 # baseline — the evidence that the journal-driven delta pipeline makes

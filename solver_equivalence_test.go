@@ -112,6 +112,51 @@ func TestSolverEquivalenceInvariants(t *testing.T) {
 	}
 }
 
+// TestSolverEquivalenceAcrossProcs locks the worker-count half of the
+// determinism contract at the pipeline level: for every registered
+// solver, the end-to-end result under WithParallelism(n) must be
+// bit-identical to the sequential run — including the LP phases, whose
+// simplex kernels now shard over the same worker group. P=32 is the
+// paper workload with alternate LP optima; identical results across
+// procs (same solver) are still required, because sharding may never
+// change which optimum a given solver finds.
+func TestSolverEquivalenceAcrossProcs(t *testing.T) {
+	for _, seed := range []int64{1994, 7} {
+		seq, err := PaperMeshA(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := PartitionRSB(seq.Base, 32, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := seq.Steps[0].Graph
+		for _, name := range SolverNames() {
+			aSeq := base.Clone()
+			if _, err := Repartition(context.Background(), g, aSeq,
+				WithRefine(), WithSolver(name), WithParallelism(1)); err != nil {
+				t.Fatalf("seed=%d %s procs=1: %v", seed, name, err)
+			}
+			cutSeq := Cut(g, aSeq)
+			for _, procs := range []int{2, 3, 8} {
+				a := base.Clone()
+				if _, err := Repartition(context.Background(), g, a,
+					WithRefine(), WithSolver(name), WithParallelism(procs)); err != nil {
+					t.Fatalf("seed=%d %s procs=%d: %v", seed, name, procs, err)
+				}
+				if !reflect.DeepEqual(aSeq.Part, a.Part) {
+					t.Errorf("seed=%d %s: procs=%d assignment diverges from sequential",
+						seed, name, procs)
+				}
+				if cut := Cut(g, a); !reflect.DeepEqual(cut, cutSeq) {
+					t.Errorf("seed=%d %s: procs=%d cut %+v != sequential %+v",
+						seed, name, procs, cut, cutSeq)
+				}
+			}
+		}
+	}
+}
+
 // TestDualWarmEnginePersistenceIsPerformanceOnly: a long-lived engine
 // with the warm-started solver (bases persisting across Repartition
 // calls) must produce exactly the assignments of one-shot calls (fresh

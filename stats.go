@@ -72,10 +72,16 @@ type Stats struct {
 	Parallelism int
 	// WorkerBusy is the per-worker busy wall clock summed over every
 	// parallel region of the call (boundary sync, layering BFS, gain
-	// scans, pool sorts); index w is worker w. It is empty on the
-	// sequential path. Comparing the sum against Elapsed shows how much
-	// of the pipeline actually fanned out.
+	// scans, pool sorts, LP simplex kernels); index w is worker w. It is
+	// empty on the sequential path. Comparing the sum against Elapsed
+	// shows how much of the pipeline actually fanned out.
 	WorkerBusy []time.Duration
+	// LPParallel counts LP solves during this call whose simplex kernels
+	// actually forked over the worker group (the solve's per-pivot work
+	// reached the sharding threshold). It is zero on the sequential path
+	// and for LPs too small to be worth sharding; solutions are
+	// bit-identical either way.
+	LPParallel int
 	// CSRPatched counts snapshot refreshes during this call served by
 	// the journal-driven partial CSR patch (only the touched rows
 	// rewritten) rather than a full O(n+m) rebuild. On a warm [Engine]
@@ -133,6 +139,7 @@ func convertStatsInto(dst *Stats, st *core.Stats) {
 		LPIterations:   st.LPIterations,
 		Parallelism:    st.Parallelism,
 		WorkerBusy:     busy,
+		LPParallel:     st.LPParallel,
 		CSRPatched:     st.CSRPatched,
 		CutIncremental: st.CutIncremental,
 		CutBefore:      st.CutBefore,
