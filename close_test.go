@@ -1,0 +1,50 @@
+package igp
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestEngineClose locks the public Close contract: idempotent, a closed
+// engine fails Repartition with the typed ErrEngineClosed, and stats
+// cloned before the close survive it.
+func TestEngineClose(t *testing.T) {
+	g, a := grownMesh(t, 400, 8, 40, 11)
+	eng, err := NewEngine(g, WithRefine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.Repartition(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := st.Clone()
+	if err := eng.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if eng.Graph() != g {
+		t.Fatal("Graph() changed by Close")
+	}
+	if _, err := eng.Repartition(context.Background(), a); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Repartition after Close: want ErrEngineClosed, got %v", err)
+	}
+	if len(kept.EpsilonUsed) != kept.Stages {
+		t.Fatalf("clone corrupted: %d epsilons for %d stages", len(kept.EpsilonUsed), kept.Stages)
+	}
+
+	// The batched path must refuse a closed engine too.
+	eng2, err := NewEngine(g, WithBatches(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.Repartition(context.Background(), a); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("batched Repartition after Close: want ErrEngineClosed, got %v", err)
+	}
+}

@@ -9,6 +9,7 @@
 //	igpbench -table lpsize                # §4 LP-size independence claim
 //	igpbench -table refine                # refinement-quality ablation
 //	igpbench -table solvers               # per-solver pivots (warm vs cold)
+//	igpbench -table serve                 # igpserve latency under load
 //	igpbench -table all                   # everything
 //
 // Flags -p, -ranks, -seed, -solver and -skipsim adjust the experiment.
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "fig11", "table to regenerate: fig11|fig14|speedup|lpsize|baselines|refine|solvers|incremental|phases|lp-procs|all")
+	table := flag.String("table", "fig11", "table to regenerate: fig11|fig14|speedup|lpsize|baselines|refine|solvers|incremental|phases|lp-procs|serve|all")
 	seed := flag.Int64("seed", 1994, "workload seed")
 	p := flag.Int("p", 32, "number of partitions")
 	ranks := flag.Int("ranks", 32, "simulated machine size")
@@ -138,6 +139,15 @@ func main() {
 		}
 		if *table == "incremental" && *jsonOut {
 			fmt.Printf("[%s]\n", strings.Join(records, ", "))
+			return
+		}
+	}
+	if run("serve") {
+		ok = true
+		// End-to-end service latency (igpserve + loadgen over real HTTP);
+		// JSON rows become the serve_latency record in BENCH_<n>.json.
+		exitOn(printServe(*seed, *jsonOut))
+		if *table == "serve" {
 			return
 		}
 	}

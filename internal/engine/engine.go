@@ -69,6 +69,10 @@ var ErrNeedRepartition = errors.New("core: incremental balance infeasible; repar
 // assignment needs at least one previously assigned vertex to grow from.
 var errNoOldVertices = errors.New("core: assign: no previously assigned vertices; use a from-scratch partitioner first")
 
+// ErrClosed reports a call on an engine whose session was ended by
+// Close. A closed engine never becomes usable again; create a new one.
+var ErrClosed = errors.New("core: engine closed; create a new engine")
+
 // Options configures an Engine (and the core.Repartition wrapper).
 type Options struct {
 	// Solver is the simplex implementation (nil = lp.Bounded{}). A
@@ -245,8 +249,9 @@ func (s *Stats) MaxLPSize() (vars, cons int) {
 // with New, then call Repartition after each batch of graph edits. The
 // zero value is not usable.
 type Engine struct {
-	g   *graph.Graph
-	opt Options
+	g      *graph.Graph
+	opt    Options
+	closed bool
 
 	// Snapshot state.
 	synced bool
@@ -393,21 +398,56 @@ func sameSolverInstance(a, b lp.Solver) bool {
 	return reflect.TypeOf(a).Comparable() && a == b
 }
 
-// Graph returns the graph the engine is bound to.
+// Graph returns the graph the engine is bound to (also after Close).
 func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Closed reports whether Close has ended this engine session.
+func (e *Engine) Closed() bool { return e.closed }
+
+// Close ends the engine session and releases everything it owns: the
+// CSR snapshot, the boundary/size/pending trackers, every scratch
+// arena, the worker group, and the sessionized LP solvers with their
+// retained warm-start bases. A session pool evicting an idle engine
+// calls Close so the memory is reclaimed deterministically rather than
+// when the GC happens to notice.
+//
+// Invalidation hazard: everything the engine ever handed out points
+// into those arenas — the *Stats returned by Repartition, Layer and
+// Gains results, Boundary and Snapshot views, and CutStats.PerPart
+// slices are all invalid after Close (clone what must outlive the
+// session first, e.g. Stats.Clone). After Close, Repartition, Layer and
+// Gains fail with an error matching ErrClosed; Snapshot and Boundary
+// return nil. Close is idempotent and always returns nil. The graph is
+// caller-owned and is not touched.
+func (e *Engine) Close() error {
+	if e.closed {
+		return nil
+	}
+	// Drop every arena and the LP sessions (whose basis caches can be
+	// large) in one sweep; keep only the graph binding, the identity
+	// bits, and the closed flag.
+	*e = Engine{g: e.g, procs: e.procs, closed: true}
+	return nil
+}
 
 // Snapshot syncs and returns the engine's CSR view of the graph. The
 // returned snapshot is owned by the engine and valid until the graph
-// mutates.
+// mutates (or the engine is closed); it is nil after Close.
 func (e *Engine) Snapshot(a *partition.Assignment) *graph.CSR {
+	if e.closed {
+		return nil
+	}
 	e.sync(a)
 	return e.csr
 }
 
 // Boundary syncs and returns the current partition-boundary vertex set.
 // The slice is owned by the engine, unordered, duplicate-free, and valid
-// until the next engine call.
+// until the next engine call; it is nil after Close.
 func (e *Engine) Boundary(a *partition.Assignment) []graph.Vertex {
+	if e.closed {
+		return nil
+	}
 	e.sync(a)
 	return e.boundary
 }
@@ -674,6 +714,9 @@ func (e *Engine) cutWeight(a *partition.Assignment) float64 {
 // Stats.CutBefore/CutAfter is not affected); the scalar fields are
 // plain values. It is bit-identical to partition.Cut(e.Graph(), a).
 func (e *Engine) Cut(a *partition.Assignment) partition.CutStats {
+	if e.closed {
+		return partition.CutStats{}
+	}
 	if e.opt.FullRefresh {
 		return partition.Cut(e.g, a)
 	}
@@ -686,6 +729,9 @@ func (e *Engine) Cut(a *partition.Assignment) partition.CutStats {
 // snapshot. The result is owned by the engine's scratch and invalidated by
 // the next Layer call.
 func (e *Engine) Layer(ctx context.Context, a *partition.Assignment) (*layering.Result, error) {
+	if e.closed {
+		return nil, ErrClosed
+	}
 	e.sync(a)
 	return e.lay.LayerSeeded(ctx, e.csr, a, e.boundary)
 }
@@ -694,6 +740,9 @@ func (e *Engine) Layer(ctx context.Context, a *partition.Assignment) (*layering.
 // snapshot. The result is owned by the engine's scratch and invalidated by
 // the next Gains call.
 func (e *Engine) Gains(a *partition.Assignment, strict bool) (*refine.Candidates, error) {
+	if e.closed {
+		return nil, ErrClosed
+	}
 	e.sync(a)
 	return e.gain.GainsSeeded(e.csr, a, strict, e.boundary)
 }
@@ -715,6 +764,9 @@ func (e *Engine) Gains(a *partition.Assignment, strict bool) (*refine.Candidates
 // one (a shallow copy is not enough — Stages, WorkerBusy, the cut
 // PerPart vectors and Refine all point into the arena).
 func (e *Engine) Repartition(ctx context.Context, a *partition.Assignment) (*Stats, error) {
+	if e.closed {
+		return nil, ErrClosed
+	}
 	e.stats.reset()
 	st := &e.stats
 	opt := e.opt

@@ -1,0 +1,342 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	igp "repro"
+)
+
+// request is one admitted edit submission waiting in a session queue.
+type request struct {
+	ctx     context.Context
+	edits   []Edit
+	resp    chan result // buffered(1): the session's single response never blocks
+	enq     time.Time
+	editErr error // first invalid edit, set during batch application
+	applied int   // edits applied before the failure (all of them on success)
+}
+
+type result struct {
+	resp *Response
+	err  error
+}
+
+// Response answers one served edit submission.
+type Response struct {
+	// Version is the assignment version the request's batch produced;
+	// GET /graphs/{id}/assignment at this version (or later) reflects
+	// the request's edits.
+	Version uint64 `json:"version"`
+	// Metrics is the per-request observability record.
+	Metrics RequestMetrics `json:"metrics"`
+}
+
+// Session is one long-lived partitioning session: a graph, its
+// assignment, and a warm igp.Engine, owned by a single goroutine that
+// applies edit batches and runs repartitions — so the engine's
+// arena-owned results never race and every concurrent client sees one
+// serialized edit stream. Clients talk to it only through Server.Submit
+// and the snapshot accessors.
+type Session struct {
+	id  string
+	srv *Server
+
+	// Owned by the run goroutine (and the constructor, which
+	// happens-before it).
+	g      *igp.Graph
+	a      *igp.Assignment
+	eng    *igp.Engine
+	events int // observer event count; bumped on the run goroutine via the engine observer
+
+	// Admission gate: enqueue checks closed and performs the bounded,
+	// non-blocking queue send under mu, so a closing session can drain
+	// deterministically — after closed is set no new request can slip
+	// into the queue.
+	mu     sync.Mutex
+	closed bool
+	queue  chan *request
+
+	stop     chan struct{} // closed by Server.Close / DropGraph
+	stopOnce sync.Once
+	done     chan struct{} // closed when the run goroutine has fully shut down
+
+	// Published assignment snapshot, readable without touching the
+	// engine: the run goroutine copies the assignment out of the
+	// session-owned arrays after every successful repartition.
+	pubMu     sync.RWMutex
+	version   uint64
+	p         int
+	published []int32
+
+	batchBuf []*request
+	liveBuf  []*request
+}
+
+// ID returns the session's graph id.
+func (s *Session) ID() string { return s.id }
+
+// Assignment returns the published assignment snapshot: its version
+// (bumped by every successful repartition), the partition count, and a
+// copy of the per-vertex partition ids (index = vertex id; -1 =
+// unassigned/dead slot).
+func (s *Session) Assignment() (version uint64, p int, parts []int32) {
+	s.pubMu.RLock()
+	defer s.pubMu.RUnlock()
+	return s.version, s.p, append([]int32(nil), s.published...)
+}
+
+// publish copies the current assignment into the published snapshot and
+// bumps the version. Run-goroutine only.
+func (s *Session) publish() {
+	s.pubMu.Lock()
+	s.version++
+	s.p = s.a.P
+	s.published = append(s.published[:0], s.a.Part...)
+	s.pubMu.Unlock()
+}
+
+// enqueue admits r into the session queue, shedding with ErrQueueFull
+// when the bounded queue is at capacity and ErrSessionClosed once the
+// session is shutting down.
+func (s *Session) enqueue(r *request) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	select {
+	case s.queue <- r:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// run is the session goroutine: wait for a request, coalesce the burst
+// behind it into one batch, process it with a single warm repartition,
+// repeat. Idle eviction and server shutdown both land here, so the
+// engine is always closed on the goroutine that owns it.
+func (s *Session) run() {
+	defer close(s.done)
+	var (
+		idleC <-chan time.Time
+		idle  *time.Timer
+	)
+	if d := s.srv.cfg.IdleTimeout; d > 0 {
+		idle = time.NewTimer(d)
+		defer idle.Stop()
+		idleC = idle.C
+	}
+	for {
+		select {
+		case r := <-s.queue:
+			batch := s.collect(r)
+			s.process(batch)
+			if idle != nil {
+				if !idle.Stop() {
+					select {
+					case <-idle.C:
+					default:
+					}
+				}
+				idle.Reset(s.srv.cfg.IdleTimeout)
+			}
+		case <-idleC:
+			s.shutdown()
+			return
+		case <-s.stop:
+			s.shutdown()
+			return
+		}
+	}
+}
+
+// collect coalesces the burst behind first into one batch: up to
+// BatchSize requests, waiting at most MaxWait after the first arrival
+// for stragglers (MaxWait 0 drains only what is already queued). The
+// returned slice is the session's reused batch arena.
+func (s *Session) collect(first *request) []*request {
+	batch := append(s.batchBuf[:0], first)
+	size := s.srv.cfg.batchSize()
+	if size <= 1 {
+		s.batchBuf = batch
+		return batch
+	}
+	if s.srv.cfg.MaxWait <= 0 {
+		for len(batch) < size {
+			select {
+			case r := <-s.queue:
+				batch = append(batch, r)
+			default:
+				s.batchBuf = batch
+				return batch
+			}
+		}
+		s.batchBuf = batch
+		return batch
+	}
+	timer := time.NewTimer(s.srv.cfg.MaxWait)
+	defer timer.Stop()
+	for len(batch) < size {
+		select {
+		case r := <-s.queue:
+			batch = append(batch, r)
+		case <-timer.C:
+			s.batchBuf = batch
+			return batch
+		case <-s.stop:
+			// Shutting down: process what we have, the next loop
+			// iteration drains and closes.
+			s.batchBuf = batch
+			return batch
+		}
+	}
+	s.batchBuf = batch
+	return batch
+}
+
+// process serves one coalesced batch: shed already-expired requests,
+// apply every live request's edits to the graph (one journal window),
+// run a single warm repartition under the batch's merged deadline, then
+// answer every request. A deadline abort maps to the typed ErrDeadline
+// with the assignment left valid — applied edits stay in the graph and
+// the next batch's repartition absorbs them, so shedding never
+// corrupts the session.
+func (s *Session) process(batch []*request) {
+	start := time.Now()
+	live := s.liveBuf[:0]
+	for _, r := range batch {
+		if r.ctx.Err() != nil {
+			s.srv.metrics.shedDeadline.Add(1)
+			s.respond(r, nil, fmt.Errorf("%w: %v", ErrDeadline, context.Cause(r.ctx)))
+			continue
+		}
+		live = append(live, r)
+	}
+	s.liveBuf = live
+	if len(live) == 0 {
+		return
+	}
+
+	batchEdits := 0
+	for _, r := range live {
+		r.applied, r.editErr = applyEdits(s.g, r.edits)
+		batchEdits += r.applied
+	}
+
+	ctx, cancel := batchContext(live)
+	eventsBefore := s.events
+	st, err := s.eng.Repartition(ctx, s.a)
+	cancel()
+	s.srv.metrics.observeBatch(len(live))
+	s.srv.metrics.editsApplied.Add(int64(batchEdits))
+	if err != nil {
+		if errors.Is(err, igp.ErrCanceled) {
+			// Deadline hit mid-repartition: the assignment is valid (the
+			// engine never aborts mid-move), just not rebalanced yet.
+			s.srv.metrics.shedDeadline.Add(int64(len(live)))
+			for _, r := range live {
+				s.respond(r, nil, fmt.Errorf("%w: %v", ErrDeadline, err))
+			}
+			return
+		}
+		for _, r := range live {
+			s.respond(r, nil, fmt.Errorf("serve: repartition: %w", err))
+		}
+		return
+	}
+
+	// Clone detaches the record from the engine arena (the arena is
+	// overwritten by the next batch, and Close releases it).
+	stats := st.Clone()
+	s.publish()
+	for _, r := range live {
+		if r.editErr != nil {
+			s.respond(r, nil, fmt.Errorf("serve: edit %d rejected: %w", r.applied, r.editErr))
+			continue
+		}
+		resp := &Response{
+			Version: s.version,
+			Metrics: RequestMetrics{
+				QueueWait:      start.Sub(r.enq),
+				BatchSize:      len(live),
+				BatchEdits:     batchEdits,
+				Repartition:    stats.Elapsed,
+				Assign:         stats.PhaseTimings.Assign,
+				Layer:          stats.PhaseTimings.Layer,
+				Balance:        stats.PhaseTimings.Balance,
+				Refine:         stats.PhaseTimings.Refine,
+				Stages:         stats.Stages,
+				LPIterations:   stats.LPIterations,
+				NewAssigned:    stats.NewAssigned,
+				Moved:          stats.BalanceMoved + stats.RefineMoved,
+				CSRPatched:     stats.CSRPatched,
+				CutIncremental: stats.CutIncremental,
+				Events:         s.events - eventsBefore,
+				CutAfter:       stats.CutAfter.TotalWeight,
+			},
+		}
+		s.respond(r, resp, nil)
+	}
+}
+
+// batchContext merges the batch's request deadlines into the engine
+// context: the repartition gets the latest deadline across the batch —
+// it serves every coalesced request, so it may run as long as the most
+// patient one allows — and no deadline at all if any request has none.
+func batchContext(live []*request) (context.Context, context.CancelFunc) {
+	var latest time.Time
+	for _, r := range live {
+		d, ok := r.ctx.Deadline()
+		if !ok {
+			return context.WithCancel(context.Background())
+		}
+		if d.After(latest) {
+			latest = d
+		}
+	}
+	return context.WithDeadline(context.Background(), latest)
+}
+
+// respond delivers the request's single response and releases its
+// global in-flight slot. Exactly one respond call happens per admitted
+// request — from process, the expired pre-check, or the shutdown drain.
+func (s *Session) respond(r *request, resp *Response, err error) {
+	if err == nil {
+		s.srv.metrics.served.Add(1)
+		s.srv.metrics.latency.observe(time.Since(r.enq))
+	} else if !isShed(err) {
+		s.srv.metrics.failed.Add(1)
+	}
+	r.resp <- result{resp, err}
+	s.srv.release()
+}
+
+// shutdown ends the session: no new requests can enter (closed is set
+// under mu), everything still queued is answered with ErrSessionClosed,
+// the engine session is closed (releasing its arenas and LP bases
+// deterministically), and the session leaves the pool.
+func (s *Session) shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	for {
+		select {
+		case r := <-s.queue:
+			s.respond(r, nil, ErrSessionClosed)
+		default:
+			s.eng.Close()
+			s.srv.remove(s.id)
+			return
+		}
+	}
+}
+
+// signalStop asks the run goroutine to shut down (idempotent).
+func (s *Session) signalStop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}

@@ -15,6 +15,11 @@ import (
 // vertices in batches — see WithBatches).
 var ErrNeedRepartition = core.ErrNeedRepartition
 
+// ErrEngineClosed is returned by an [Engine] whose session was ended by
+// [Engine.Close]. A closed engine never becomes usable again; create a
+// new one with [NewEngine].
+var ErrEngineClosed = engine.ErrClosed
+
 // Repartition incrementally updates assignment a to cover graph g:
 // vertices beyond a's coverage (or explicitly Unassigned) are treated as
 // new. On success the partition sizes are balanced within the configured
@@ -107,6 +112,9 @@ func (e *Engine) Repartition(ctx context.Context, a *Assignment) (*Stats, error)
 		st  *core.Stats
 		err error
 	)
+	if e.eng.Closed() {
+		return nil, ErrEngineClosed
+	}
 	if e.cfg.batches > 1 {
 		// Batched reveal re-runs the pipeline over growing subgraphs, which
 		// needs per-batch throwaway engines: a WithBatches(k>1) session
@@ -125,8 +133,21 @@ func (e *Engine) Repartition(ctx context.Context, a *Assignment) (*Stats, error)
 	return &e.stats, nil
 }
 
-// Graph returns the graph the engine is bound to.
+// Graph returns the graph the engine is bound to (also after Close).
 func (e *Engine) Graph() *Graph { return e.eng.Graph() }
+
+// Close ends the engine session: every snapshot, scratch arena and
+// sessionized LP solver (with its retained warm-start bases) the engine
+// owns is released, so a pool multiplexing many engines can evict an
+// idle one and reclaim its memory deterministically. Close is
+// idempotent and always returns nil; the graph is caller-owned and is
+// not touched.
+//
+// Invalidation hazard: the *Stats returned by Repartition is an arena
+// owned by the engine, and Close releases it — [Stats.Clone] anything
+// that must outlive the session before closing. After Close,
+// Repartition fails with an error matching [ErrEngineClosed].
+func (e *Engine) Close() error { return e.eng.Close() }
 
 // ParallelResult reports a simulated distributed run.
 type ParallelResult struct {

@@ -113,6 +113,28 @@ echo "== incremental-edit workload (igpbench -table incremental) =="
 incr="$(go run ./cmd/igpbench -table incremental -json)"
 echo "$incr"
 
+# Serve latency: the igpserve stack (session pool + coalescing +
+# admission control) measured end to end over real HTTP at several
+# concurrency levels. Skipped in smoke mode — the table boots servers
+# and drives thousands of requests, too slow for the per-PR CI lane
+# (the CI serve job's igpserve -smoke covers the stack there).
+if [ "${BENCH_SMOKE:-0}" = "1" ]; then
+    echo "== serve latency: skipped (BENCH_SMOKE=1) =="
+    serve_rows=""
+else
+    echo "== serve latency (igpbench -table serve) =="
+    serve_rows=""
+    while IFS= read -r row; do
+        echo "$row"
+        if [ -n "$serve_rows" ]; then
+            serve_rows="$serve_rows,
+    $row"
+        else
+            serve_rows="$row"
+        fi
+    done < <(go run ./cmd/igpbench -table serve -json)
+fi
+
 echo "== benchmarks ($filter) =="
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -120,7 +142,7 @@ go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" . | tee "$r
 
 # Parse `BenchmarkName  N  X ns/op  Y B/op  Z allocs/op` lines into JSON,
 # folding in the per-phase timing record and the per-solver/per-procs rows.
-awk -v idx="$idx" -v phases="$phases" -v solvers="$solver_rows" -v procs="$procs_rows" -v incr="$incr" '
+awk -v idx="$idx" -v phases="$phases" -v solvers="$solver_rows" -v procs="$procs_rows" -v incr="$incr" -v serve="$serve_rows" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -135,7 +157,9 @@ BEGIN { n = 0 }
                         name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs))
 }
 END {
-    printf "{\n  \"trajectory\": %s,\n  \"phase_timings\": %s,\n  \"phase_timings_by_solver\": [\n    %s\n  ],\n  \"phase_timings_by_procs\": [\n    %s\n  ],\n  \"incremental_edits\": %s,\n  \"benchmarks\": [\n", idx, phases, solvers, procs, incr
+    if (serve == "") serve_json = "[]"
+    else             serve_json = sprintf("[\n    %s\n  ]", serve)
+    printf "{\n  \"trajectory\": %s,\n  \"phase_timings\": %s,\n  \"phase_timings_by_solver\": [\n    %s\n  ],\n  \"phase_timings_by_procs\": [\n    %s\n  ],\n  \"incremental_edits\": %s,\n  \"serve_latency\": %s,\n  \"benchmarks\": [\n", idx, phases, solvers, procs, incr, serve_json
     for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n-1 ? "," : "")
     printf "  ]\n}\n"
 }' "$raw" > "$out"
