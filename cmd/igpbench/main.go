@@ -38,7 +38,7 @@ func main() {
 	solver := flag.String("solver", "bounded", "sequential simplex: "+strings.Join(igp.SolverNames(), "|"))
 	procs := flag.Int("procs", 0, "worker count for the engine's sharded kernels (0 = GOMAXPROCS, 1 = sequential)")
 	skipSim := flag.Bool("skipsim", false, "skip simulated parallel runs (no Time-p/Speedup)")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (tables: incremental)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (tables: incremental, solvers, serve)")
 	flag.Parse()
 
 	// The registry resolves built-ins and any solver an out-of-tree build
@@ -117,6 +117,10 @@ func main() {
 		exitOn(err)
 		rows, err := bench.SolverComparison(seq, cfg, igp.SolverNames())
 		exitOn(err)
+		if *table == "solvers" && *jsonOut {
+			fmt.Println(solversJSON(rows, cfg.P))
+			return
+		}
 		fmt.Print(bench.FormatSolvers(rows, cfg.P))
 		fmt.Println()
 	}
@@ -183,6 +187,21 @@ func incrementalJSON(name string, g *igp.Graph, rows []bench.EditRow, p int) str
 	}
 	return fmt.Sprintf(`{"workload": %q, "p": %d, "n": %d, "m": %d, "rows": [%s]}`,
 		name, p, g.NumVertices(), g.NumEdges(), strings.Join(parts, ", "))
+}
+
+// solversJSON renders the per-solver comparison as one JSON object, the
+// record scripts/bench.sh folds into BENCH_<n>.json: per registered
+// solver, the IGPR wall clock, LP iteration total, cut quality and —
+// for the approximate "mwu" solver — how many solves fell back to the
+// exact path.
+func solversJSON(rows []bench.SolverRow, p int) string {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = fmt.Sprintf(`{"solver": %q, "time_ns": %d, "stages": %d, "lp_iterations": %d, "mwu_fallbacks": %d, "cut_total": %d, "balanced": %v}`,
+			r.Name, r.Time.Nanoseconds(), r.Stages, r.LPIterations, r.MWUFallbacks, r.Cut.Total, r.Balanced)
+	}
+	return fmt.Sprintf(`{"workload": "meshA-step1-igpr", "p": %d, "rows": [%s]}`,
+		p, strings.Join(parts, ", "))
 }
 
 func exitOn(err error) {

@@ -102,6 +102,7 @@ func RepartitionInBatches(ctx context.Context, g *graph.Graph, a *partition.Assi
 		agg.RefineTime += st.RefineTime
 		agg.Elapsed += st.Elapsed
 		agg.LPIterations += st.LPIterations
+		agg.MWUFallbacks += st.MWUFallbacks
 		if b == 0 {
 			agg.CutBefore = st.CutBefore
 		}

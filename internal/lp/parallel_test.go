@@ -19,6 +19,9 @@ func forcePar(t testing.TB, s Solver, grp *par.Group, procs int) Solver {
 		ps.pp.minWork = 1
 	case *boundedSession:
 		ps.pp.minWork = 1
+	case *MWU:
+		ps.pp.minWork = 1
+		ps.inner.pp.minWork = 1
 	default:
 		t.Fatalf("unexpected session type %T", ses)
 	}

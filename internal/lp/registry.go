@@ -23,6 +23,7 @@ func init() {
 	MustRegister("bounded", Bounded{})
 	MustRegister("revised", Revised{})
 	MustRegister("dual-warm", NewDualWarm())
+	MustRegister("mwu", NewMWU())
 }
 
 // SessionSolver is implemented by stateful solvers whose state should

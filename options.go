@@ -48,6 +48,7 @@ type config struct {
 	tolerance    int
 	batches      int
 	parallelism  int
+	accuracy     float64
 	fullRefresh  bool
 	observer     func(Event)
 }
@@ -101,10 +102,10 @@ func WithRefineRounds(n int) Option {
 	}
 }
 
-// WithSolver selects the simplex implementation by registry name:
-// "bounded" (the default), "dense", "revised", "dual-warm", or anything
-// added via [RegisterSolver]. Unknown names fail at
-// NewEngine/Repartition time.
+// WithSolver selects the LP solver by registry name: "bounded" (the
+// default), "dense", "revised", "dual-warm", "mwu", or anything added
+// via [RegisterSolver]. Unknown names fail at NewEngine/Repartition
+// time.
 //
 // "dual-warm" is the warm-started dual simplex: it retains the optimal
 // basis of each LP structure it solves and resumes from it when a later
@@ -123,6 +124,24 @@ func WithSolver(name string) Option {
 			return fmt.Errorf("igp: WithSolver: %w", err)
 		}
 		c.solver = s
+		return nil
+	}
+}
+
+// WithAccuracy sets the target accuracy eps > 0 for approximate LP
+// solvers: an Optimal objective is guaranteed within a (1+eps) factor of
+// the true optimum. It configures the "mwu" multiplicative-weight solver
+// (see [WithSolver]); the exact simplex solvers ignore it. The default —
+// also used when WithAccuracy is not given — is 0.05. Looser targets
+// close the solver's quality bracket in fewer iterations; tighter ones
+// push more solves onto the exact fallback path (counted by
+// [Stats.MWUFallbacks]).
+func WithAccuracy(eps float64) Option {
+	return func(c *config) error {
+		if eps <= 0 {
+			return fmt.Errorf("igp: WithAccuracy(%g): accuracy target must be > 0", eps)
+		}
+		c.accuracy = eps
 		return nil
 	}
 }
@@ -262,6 +281,7 @@ func (c *config) coreOptions() core.Options {
 		Tolerance:   c.tolerance,
 		Refine:      c.refine,
 		Parallelism: c.parallelism,
+		Accuracy:    c.accuracy,
 		FullRefresh: c.fullRefresh,
 		RefineOptions: refine.Options{
 			MaxRounds: c.refineRounds,

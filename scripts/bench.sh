@@ -63,7 +63,7 @@ echo "$phases"
 # counts side by side. The bounded row reuses the record measured above.
 echo "== per-solver phase timings =="
 solver_rows="$phases"
-for s in dense revised dual-warm; do
+for s in dense revised dual-warm mwu; do
     row="$(go run ./cmd/igpbench -table phases -solver "$s")"
     echo "$row"
     solver_rows="$solver_rows,
@@ -105,6 +105,13 @@ while IFS= read -r row; do
     $row"
 done < <(go run ./cmd/igpbench -table lp-procs)
 
+# Per-solver comparison table: the same IGPR workload once per
+# registered solver — wall clock, LP iteration totals, cut quality and
+# the approximate "mwu" solver's exact-fallback count side by side.
+echo "== solver comparison (igpbench -table solvers) =="
+solver_cmp="$(go run ./cmd/igpbench -table solvers -json)"
+echo "$solver_cmp"
+
 # Incremental-edit workload: warm k-edit Repartition cost vs delta size
 # on both mesh families, against the WithFullRefresh full-recomputation
 # baseline — the evidence that the journal-driven delta pipeline makes
@@ -142,7 +149,7 @@ go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" . | tee "$r
 
 # Parse `BenchmarkName  N  X ns/op  Y B/op  Z allocs/op` lines into JSON,
 # folding in the per-phase timing record and the per-solver/per-procs rows.
-awk -v idx="$idx" -v phases="$phases" -v solvers="$solver_rows" -v procs="$procs_rows" -v incr="$incr" -v serve="$serve_rows" '
+awk -v idx="$idx" -v phases="$phases" -v solvers="$solver_rows" -v procs="$procs_rows" -v cmp="$solver_cmp" -v incr="$incr" -v serve="$serve_rows" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -159,7 +166,7 @@ BEGIN { n = 0 }
 END {
     if (serve == "") serve_json = "[]"
     else             serve_json = sprintf("[\n    %s\n  ]", serve)
-    printf "{\n  \"trajectory\": %s,\n  \"phase_timings\": %s,\n  \"phase_timings_by_solver\": [\n    %s\n  ],\n  \"phase_timings_by_procs\": [\n    %s\n  ],\n  \"incremental_edits\": %s,\n  \"serve_latency\": %s,\n  \"benchmarks\": [\n", idx, phases, solvers, procs, incr, serve_json
+    printf "{\n  \"trajectory\": %s,\n  \"phase_timings\": %s,\n  \"phase_timings_by_solver\": [\n    %s\n  ],\n  \"phase_timings_by_procs\": [\n    %s\n  ],\n  \"solver_comparison\": %s,\n  \"incremental_edits\": %s,\n  \"serve_latency\": %s,\n  \"benchmarks\": [\n", idx, phases, solvers, procs, cmp, incr, serve_json
     for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n-1 ? "," : "")
     printf "  ]\n}\n"
 }' "$raw" > "$out"

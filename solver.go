@@ -12,8 +12,9 @@ import (
 // (wrap the cause from context.Cause) once it is done.
 //
 // Register an implementation with [RegisterSolver] and select it with
-// [WithSolver]; the built-ins ("dense", "bounded", "revised" and the
-// warm-started "dual-warm") register themselves at init.
+// [WithSolver]; the built-ins ("dense", "bounded", "revised", the
+// warm-started "dual-warm" and the approximate "mwu") register
+// themselves at init.
 type Solver = lp.Solver
 
 // LPProblem is the linear program handed to a Solver: minimize/maximize
@@ -50,8 +51,8 @@ const (
 func RegisterSolver(name string, s Solver) error { return lp.Register(name, s) }
 
 // SolverNames returns the names of all registered solvers in sorted
-// order: the built-ins "bounded" (the default), "dense", "revised" and
-// "dual-warm", plus anything added via RegisterSolver.
+// order: the built-ins "bounded" (the default), "dense", "revised",
+// "dual-warm" and "mwu", plus anything added via RegisterSolver.
 func SolverNames() []string { return lp.Names() }
 
 // ErrCanceled is the sentinel every context-driven abort matches:

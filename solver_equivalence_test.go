@@ -5,8 +5,31 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/lp"
 	"repro/internal/partition"
 )
+
+// approxCutBound is the two-sided cut-quality window an approximate
+// solver's end-to-end result must stay inside, relative to the exact
+// reference: observed mwu deviations on the equivalence configs are
+// ≤ 2% in either direction (158 vs 155 at P=4 seed=7, 217 vs 220 at
+// P=5 seed=6 — approximate LPs can land on *better* cuts than the
+// unique-optimum reference path), so 15% leaves slack without letting a
+// quality regression hide.
+const approxCutBound = 1.15
+
+// approximateSolver reports whether the named registered solver only
+// promises bounded suboptimality (the mwu family) rather than exact
+// optima.
+func approximateSolver(t *testing.T, name string) bool {
+	t.Helper()
+	s, err := lp.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok := s.(lp.ApproximateSolver)
+	return ok
+}
 
 // equivalenceConfigs are seeded workloads on which the balance and
 // refinement LPs have unique optima, so every correct solver must
@@ -55,6 +78,34 @@ func TestSolverEquivalenceEndToEnd(t *testing.T) {
 				t.Fatalf("P=%d seed=%d %s: %v", cfg.p, cfg.seed, name, err)
 			}
 			cut := Cut(g, a)
+			if approximateSolver(t, name) {
+				// Approximate solvers may legitimately settle on a
+				// different (near-optimal) LP solution, so bit-identity is
+				// the wrong contract. They still owe a valid assignment,
+				// *exact* balance (feasibility is never approximated) and
+				// a cut within approxCutBound of the exact reference.
+				if refPart == nil {
+					t.Fatalf("P=%d seed=%d: approximate solver %s has no exact reference",
+						cfg.p, cfg.seed, name)
+				}
+				if err := a.Validate(g); err != nil {
+					t.Errorf("P=%d seed=%d %s: %v", cfg.p, cfg.seed, name, err)
+				}
+				targets := partition.Targets(g.NumVertices(), a.P)
+				for j, size := range a.Sizes(g) {
+					if size != targets[j] {
+						t.Errorf("P=%d seed=%d %s: partition %d has %d vertices, want %d",
+							cfg.p, cfg.seed, name, j, size, targets[j])
+					}
+				}
+				if cut.TotalWeight > approxCutBound*refCut.TotalWeight ||
+					cut.TotalWeight < refCut.TotalWeight/approxCutBound {
+					t.Errorf("P=%d seed=%d: %s cut %g outside %gx of %s cut %g",
+						cfg.p, cfg.seed, name, cut.TotalWeight, approxCutBound,
+						refName, refCut.TotalWeight)
+				}
+				continue
+			}
 			if refPart == nil {
 				refName, refPart, refCut = name, append([]int32(nil), a.Part...), cut
 				continue

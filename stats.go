@@ -82,6 +82,12 @@ type Stats struct {
 	// and for LPs too small to be worth sharding; solutions are
 	// bit-identical either way.
 	LPParallel int
+	// MWUFallbacks counts LP solves during this call that the
+	// approximate "mwu" solver handed to its exact fallback because the
+	// instance was not graph-shaped or its quality bracket did not close
+	// within the iteration budget (see [WithAccuracy]). It is zero for
+	// the exact solvers.
+	MWUFallbacks int
 	// CSRPatched counts snapshot refreshes during this call served by
 	// the journal-driven partial CSR patch (only the touched rows
 	// rewritten) rather than a full O(n+m) rebuild. On a warm [Engine]
@@ -140,6 +146,7 @@ func convertStatsInto(dst *Stats, st *core.Stats) {
 		Parallelism:    st.Parallelism,
 		WorkerBusy:     busy,
 		LPParallel:     st.LPParallel,
+		MWUFallbacks:   st.MWUFallbacks,
 		CSRPatched:     st.CSRPatched,
 		CutIncremental: st.CutIncremental,
 		CutBefore:      st.CutBefore,
