@@ -162,6 +162,9 @@ func TestEagerOptionValidation(t *testing.T) {
 		{"epsilon below 1", WithEpsilonMax(0.5)},
 		{"nil observer", WithObserver(nil)},
 		{"nil option", nil},
+		{"tiny coarsen core", WithMultilevel(CoarsenTo(1))},
+		{"zero coarsen levels", WithMultilevel(CoarsenLevels(0))},
+		{"nil multilevel sub-option", WithMultilevel(nil)},
 	}
 	for _, tc := range cases {
 		if _, err := NewEngine(g, tc.opt); err == nil {
@@ -172,8 +175,87 @@ func TestEagerOptionValidation(t *testing.T) {
 	if _, err := NewEngine(g,
 		WithRefineRounds(4), WithMaxStages(8), WithBatches(2),
 		WithEpsilonMax(4), WithTolerance(1),
+		WithMultilevel(CoarsenTo(16), CoarsenLevels(4), CoarsenSeed(9)),
 		WithSolver("revised"), WithObserver(func(Event) {})); err != nil {
 		t.Fatalf("valid options rejected: %v", err)
+	}
+}
+
+// TestWithMultilevelVCycle drives the public V-cycle surface end to end:
+// a cold multilevel Repartition on a grown mesh must build a hierarchy
+// (Stats.Levels populated, Coarsen/Uncoarsen timings plumbed through
+// PhaseTimings), a warm call after a small edit batch must journal-repair
+// it rather than recoarsen, and every call must leave an exactly
+// balanced assignment.
+func TestWithMultilevelVCycle(t *testing.T) {
+	g, a := grownMesh(t, 600, 4, 60, 3)
+	eng, err := NewEngine(g, WithRefine(), WithMultilevel(CoarsenTo(32), CoarsenSeed(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	balanced := func(st *Stats) {
+		t.Helper()
+		if err := a.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		sizes := a.Sizes(g)
+		lo, hi := sizes[0], sizes[0]
+		for _, s := range sizes[1:] {
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		if hi-lo > 1 {
+			t.Fatalf("not exactly balanced: sizes %v", sizes)
+		}
+	}
+	st, err := eng.Repartition(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced(st)
+	if len(st.Levels) == 0 {
+		t.Fatal("cold multilevel call reported no hierarchy levels")
+	}
+	for l, ls := range st.Levels {
+		if !ls.Rebuilt || ls.Vertices <= 0 {
+			t.Fatalf("cold level %d: %+v", l, ls)
+		}
+	}
+	if st.HierarchyRepaired {
+		t.Fatal("cold call cannot repair a hierarchy")
+	}
+	if st.PhaseTimings.Coarsen <= 0 {
+		t.Fatal("Coarsen timing not plumbed")
+	}
+	if st.PhaseTimings.Total() < st.PhaseTimings.Coarsen+st.PhaseTimings.Uncoarsen {
+		t.Fatal("PhaseTimings.Total excludes the V-cycle legs")
+	}
+	clone := st.Clone()
+	st.Levels[0].Vertices = -1
+	if clone.Levels[0].Vertices == -1 {
+		t.Fatal("Stats.Clone aliases the Levels arena")
+	}
+
+	prev := Vertex(0)
+	for i := 0; i < 6; i++ {
+		v := g.AddVertex(1)
+		if err := g.AddEdge(v, prev, 1); err != nil {
+			t.Fatal(err)
+		}
+		prev = v
+	}
+	st, err = eng.Repartition(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced(st)
+	if !st.HierarchyRepaired {
+		t.Fatal("warm small-edit call recoarsened instead of repairing the hierarchy")
 	}
 }
 

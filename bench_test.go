@@ -19,7 +19,6 @@ import (
 	"testing"
 
 	"repro/internal/balance"
-	"repro/internal/coarsen"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -284,7 +283,7 @@ func BenchmarkMultilevel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := f.base.Clone()
-		st, err := coarsen.MultilevelRepartition(context.Background(), g, a, coarsen.Options{})
+		st, err := core.MultilevelRepartition(context.Background(), g, a, core.MultilevelOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,215 @@
+// benchdiff compares two BENCH_<N>.json trajectory artifacts (written
+// by scripts/bench.sh) and prints a GitHub-flavored-markdown delta
+// report, built for $GITHUB_STEP_SUMMARY in the CI bench-smoke job.
+//
+// It is report-only by design: benchmark wall clocks on shared CI
+// runners are too noisy to gate a merge, so benchdiff always exits 0
+// after a successful comparison (nonzero only for usage/IO/parse
+// errors) and instead flags deltas beyond a threshold so a reviewer's
+// eye lands on them. Benchmarks present in only one artifact are listed
+// as added/removed rather than diffed.
+//
+// Usage:
+//
+//	benchdiff [-threshold 10] OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// benchFile mirrors the slices of BENCH_<N>.json that benchdiff reads;
+// unknown fields (solver tables, serve latency, ...) are ignored.
+type benchFile struct {
+	Trajectory   int          `json:"trajectory"`
+	PhaseTimings phaseRecord  `json:"phase_timings"`
+	Multilevel   *mlRecord    `json:"multilevel"`
+	Benchmarks   []benchEntry `json:"benchmarks"`
+}
+
+type phaseRecord struct {
+	AssignNS  int64 `json:"assign_ns"`
+	LayerNS   int64 `json:"layer_ns"`
+	BalanceNS int64 `json:"balance_ns"`
+	RefineNS  int64 `json:"refine_ns"`
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+type mlRecord struct {
+	P    int `json:"p"`
+	Rows []struct {
+		Workload string  `json:"workload"`
+		N        int     `json:"n"`
+		Mode     string  `json:"mode"`
+		TimeNS   int64   `json:"time_ns"`
+		Cut      float64 `json:"cut"`
+	} `json:"rows"`
+}
+
+type benchEntry struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  *int64 `json:"bytes_per_op"`
+	AllocsPerOp *int64 `json:"allocs_per_op"`
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "flag deltas beyond this many percent")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldF, err := load(flag.Arg(0))
+	exitOn(err)
+	newF, err := load(flag.Arg(1))
+	exitOn(err)
+
+	fmt.Printf("### Bench delta: trajectory %d → %d\n\n", oldF.Trajectory, newF.Trajectory)
+	fmt.Printf("Report-only — wall clocks on shared runners are noisy; deltas beyond ±%.0f%% are flagged for a human eye, never for a merge gate.\n\n", *threshold)
+	diffBenchmarks(oldF, newF, *threshold)
+	diffPhases(oldF, newF, *threshold)
+	diffMultilevel(oldF, newF, *threshold)
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// pct renders a signed percentage delta with a flag marker beyond the
+// threshold.
+func pct(oldV, newV float64, threshold float64) string {
+	if oldV == 0 {
+		return "n/a"
+	}
+	d := 100 * (newV - oldV) / oldV
+	mark := ""
+	if d > threshold {
+		mark = " ⚠"
+	} else if d < -threshold {
+		mark = " ✓"
+	}
+	return fmt.Sprintf("%+.1f%%%s", d, mark)
+}
+
+func diffBenchmarks(oldF, newF *benchFile, threshold float64) {
+	oldBy := map[string]benchEntry{}
+	for _, b := range oldF.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	names := make([]string, 0, len(newF.Benchmarks))
+	newBy := map[string]benchEntry{}
+	for _, b := range newF.Benchmarks {
+		newBy[b.Name] = b
+		names = append(names, b.Name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("| Benchmark | old ns/op | new ns/op | Δ time | old allocs | new allocs | Δ allocs |\n")
+	fmt.Printf("|---|---:|---:|---:|---:|---:|---:|\n")
+	for _, name := range names {
+		nb := newBy[name]
+		ob, ok := oldBy[name]
+		if !ok {
+			fmt.Printf("| %s | — | %d | added | — | %s | |\n", name, nb.NsPerOp, allocs(nb))
+			continue
+		}
+		dAlloc := "n/a"
+		if ob.AllocsPerOp != nil && nb.AllocsPerOp != nil {
+			dAlloc = pct(float64(*ob.AllocsPerOp), float64(*nb.AllocsPerOp), threshold)
+		}
+		fmt.Printf("| %s | %d | %d | %s | %s | %s | %s |\n",
+			name, ob.NsPerOp, nb.NsPerOp, pct(float64(ob.NsPerOp), float64(nb.NsPerOp), threshold),
+			allocs(ob), allocs(nb), dAlloc)
+	}
+	for name := range oldBy {
+		if _, ok := newBy[name]; !ok {
+			fmt.Printf("| %s | removed | — | | | | |\n", name)
+		}
+	}
+	fmt.Println()
+}
+
+func allocs(b benchEntry) string {
+	if b.AllocsPerOp == nil {
+		return "—"
+	}
+	return fmt.Sprintf("%d", *b.AllocsPerOp)
+}
+
+func diffPhases(oldF, newF *benchFile, threshold float64) {
+	o, n := oldF.PhaseTimings, newF.PhaseTimings
+	if o.ElapsedNS == 0 || n.ElapsedNS == 0 {
+		return
+	}
+	fmt.Printf("| Pipeline phase | old ns | new ns | Δ |\n|---|---:|---:|---:|\n")
+	rows := []struct {
+		name   string
+		ov, nv int64
+	}{
+		{"assign", o.AssignNS, n.AssignNS},
+		{"layer", o.LayerNS, n.LayerNS},
+		{"balance", o.BalanceNS, n.BalanceNS},
+		{"refine", o.RefineNS, n.RefineNS},
+		{"total", o.ElapsedNS, n.ElapsedNS},
+	}
+	for _, r := range rows {
+		fmt.Printf("| %s | %d | %d | %s |\n", r.name, r.ov, r.nv, pct(float64(r.ov), float64(r.nv), threshold))
+	}
+	fmt.Println()
+}
+
+// diffMultilevel diffs the large-graph V-cycle tier when both artifacts
+// carry it (older trajectories predate the field).
+func diffMultilevel(oldF, newF *benchFile, threshold float64) {
+	if oldF.Multilevel == nil || newF.Multilevel == nil {
+		return
+	}
+	type key struct{ workload, mode string }
+	oldBy := map[key]struct {
+		t   int64
+		cut float64
+	}{}
+	for _, r := range oldF.Multilevel.Rows {
+		oldBy[key{r.Workload, r.Mode}] = struct {
+			t   int64
+			cut float64
+		}{r.TimeNS, r.Cut}
+	}
+	fmt.Printf("| Multilevel row | old ns | new ns | Δ time | old cut | new cut | Δ cut |\n")
+	fmt.Printf("|---|---:|---:|---:|---:|---:|---:|\n")
+	for _, r := range newF.Multilevel.Rows {
+		o, ok := oldBy[key{r.Workload, r.Mode}]
+		if !ok {
+			fmt.Printf("| %s/%s | — | %d | added | — | %.0f | |\n", r.Workload, r.Mode, r.TimeNS, r.Cut)
+			continue
+		}
+		fmt.Printf("| %s/%s | %d | %d | %s | %.0f | %.0f | %s |\n",
+			r.Workload, r.Mode, o.t, r.TimeNS, pct(float64(o.t), float64(r.TimeNS), threshold),
+			o.cut, r.Cut, pct(o.cut, r.Cut, threshold))
+	}
+	fmt.Println()
+}

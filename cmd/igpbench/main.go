@@ -10,6 +10,7 @@
 //	igpbench -table refine                # refinement-quality ablation
 //	igpbench -table solvers               # per-solver pivots (warm vs cold)
 //	igpbench -table serve                 # igpserve latency under load
+//	igpbench -table multilevel            # large-graph V-cycle tier (n=10^5)
 //	igpbench -table all                   # everything
 //
 // Flags -p, -ranks, -seed, -solver and -skipsim adjust the experiment.
@@ -31,14 +32,16 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "fig11", "table to regenerate: fig11|fig14|speedup|lpsize|baselines|refine|solvers|incremental|phases|lp-procs|serve|all")
+	table := flag.String("table", "fig11", "table to regenerate: fig11|fig14|speedup|lpsize|baselines|refine|solvers|incremental|phases|lp-procs|serve|multilevel|all")
 	seed := flag.Int64("seed", 1994, "workload seed")
 	p := flag.Int("p", 32, "number of partitions")
 	ranks := flag.Int("ranks", 32, "simulated machine size")
 	solver := flag.String("solver", "bounded", "sequential simplex: "+strings.Join(igp.SolverNames(), "|"))
 	procs := flag.Int("procs", 0, "worker count for the engine's sharded kernels (0 = GOMAXPROCS, 1 = sequential)")
 	skipSim := flag.Bool("skipsim", false, "skip simulated parallel runs (no Time-p/Speedup)")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (tables: incremental, solvers, serve)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (tables: incremental, solvers, serve, multilevel)")
+	largeN := flag.Int("n", 100000, "large-graph tier size (table: multilevel)")
+	check := flag.Bool("check", false, "multilevel CI assert mode: smoke size, no flat baseline, nonzero exit on any contract failure")
 	flag.Parse()
 
 	// The registry resolves built-ins and any solver an out-of-tree build
@@ -155,6 +158,25 @@ func main() {
 			return
 		}
 	}
+	if run("multilevel") {
+		ok = true
+		// Large-graph tier: V-cycle cold/settle/warm rows per workload
+		// family, plus the flat RSB from-scratch baseline (minutes of wall
+		// clock) when not in -check mode. MultilevelTable's own assertions
+		// (validity, exact balance, grid warm hierarchy repair) make
+		// -check a CI gate: any violation exits nonzero via exitOn.
+		rows, err := bench.MultilevelTable(cfg, *largeN, !*check)
+		exitOn(err)
+		if *table == "multilevel" && *jsonOut {
+			fmt.Println(multilevelJSON(rows, cfg.P))
+			return
+		}
+		fmt.Print(bench.FormatMultilevel(rows, cfg.P))
+		fmt.Println()
+		if *table == "multilevel" {
+			return
+		}
+	}
 	if run("refine") {
 		ok = true
 		seq, err := mesh.PaperSequenceA(*seed)
@@ -202,6 +224,19 @@ func solversJSON(rows []bench.SolverRow, p int) string {
 	}
 	return fmt.Sprintf(`{"workload": "meshA-step1-igpr", "p": %d, "rows": [%s]}`,
 		p, strings.Join(parts, ", "))
+}
+
+// multilevelJSON renders the large-graph tier as one JSON object, the
+// record scripts/bench.sh folds into BENCH_<n>.json: per workload
+// family and mode, wall clock, resulting cut, hierarchy depth and
+// whether the warm path journal-repaired the hierarchy.
+func multilevelJSON(rows []bench.MultilevelRow, p int) string {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = fmt.Sprintf(`{"workload": %q, "n": %d, "m": %d, "mode": %q, "time_ns": %d, "cut": %g, "levels": %d, "repaired": %v, "balanced": %v}`,
+			r.Workload, r.N, r.E, r.Mode, r.Time.Nanoseconds(), r.Cut, r.Levels, r.Repaired, r.Balanced)
+	}
+	return fmt.Sprintf(`{"p": %d, "rows": [%s]}`, p, strings.Join(parts, ", "))
 }
 
 func exitOn(err error) {

@@ -16,38 +16,33 @@
 // traffic: most of the imbalance is corrected by moving weight-w clusters
 // with single decisions, shrinking the number of fine-level stages and
 // refinement rounds on large incremental changes.
+//
+// Two entry points build on these kernels. The one-shot two-level cycle
+// lives in core.MultilevelRepartition (it needs the fine-level engine for
+// its polish pass, which this package must not import). The full V-cycle
+// for large graphs is Hierarchy (hierarchy.go): a journal-repairable
+// stack of coarse graphs the engine keeps alive across Repartition calls
+// behind igp.WithMultilevel.
 package coarsen
 
 import (
 	"context"
-	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/balance"
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/layering"
 	"repro/internal/lp"
 	"repro/internal/partition"
 )
 
-// Options configures MultilevelRepartition.
-type Options struct {
-	// Inner configures the fine-level polish pass.
-	Inner core.Options
-}
-
-// Stats reports a multilevel run.
-type Stats struct {
-	CoarseVertices int // coarse-graph size
-	CoarseMoved    int // fine-vertex weight moved at the coarse level
-	Fine           *core.Stats
-}
-
 // Match computes a heavy-edge matching restricted to pairs within the
 // same partition. match[v] is v's partner (or v itself when unmatched);
-// dead vertices map to themselves.
+// dead vertices map to themselves. The result is deterministic: vertices
+// are visited in increasing-degree order (ties by id) and partner ties
+// break toward the smaller id. The returned slice is freshly allocated
+// and caller-owned (unlike Hierarchy's arena-backed returns).
 func Match(g *graph.Graph, a *partition.Assignment) []graph.Vertex {
 	n := g.Order()
 	match := make([]graph.Vertex, n)
@@ -90,7 +85,12 @@ func Match(g *graph.Graph, a *partition.Assignment) []graph.Vertex {
 // Contract builds the coarse graph for a matching: matched pairs merge
 // into one coarse vertex whose weight is the pair's total; edge weights
 // aggregate (internal pair edges vanish). It returns the coarse graph,
-// the fine→coarse map, and the coarse partition assignment.
+// the fine→coarse map, and the coarse partition assignment. The coarse
+// graph is deterministic down to adjacency order: aggregated edges are
+// inserted in sorted (min-endpoint, max-endpoint) order, so downstream
+// kernels that walk coarse adjacency see the same float summation order
+// on every run. All three returns are freshly allocated and
+// caller-owned; nothing aliases g or match.
 func Contract(g *graph.Graph, a *partition.Assignment, match []graph.Vertex) (*graph.Graph, []graph.Vertex, *partition.Assignment) {
 	fineToCoarse := make([]graph.Vertex, g.Order())
 	for i := range fineToCoarse {
@@ -114,9 +114,11 @@ func Contract(g *graph.Graph, a *partition.Assignment, match []graph.Vertex) (*g
 		}
 		coarsePart = append(coarsePart, a.Part[v])
 	}
-	// Aggregate edges.
+	// Aggregate edges. The map is only an accumulator: insertion happens
+	// over the sorted key list, never in map-iteration order.
 	type edgeKey struct{ a, b graph.Vertex }
 	agg := make(map[edgeKey]float64)
+	keys := make([]edgeKey, 0, g.NumEdges())
 	for _, v := range g.Vertices() {
 		ws := g.EdgeWeights(v)
 		for i, u := range g.Neighbors(v) {
@@ -128,21 +130,34 @@ func Contract(g *graph.Graph, a *partition.Assignment, match []graph.Vertex) (*g
 			if cv > cu {
 				k = edgeKey{cu, cv}
 			}
+			if _, seen := agg[k]; !seen {
+				keys = append(keys, k)
+			}
 			agg[k] += ws[i]
 		}
 	}
-	for k, w := range agg {
-		_ = gc.AddEdge(k.a, k.b, w)
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		_ = gc.AddEdge(k.a, k.b, agg[k])
 	}
 	ca := &partition.Assignment{Part: coarsePart, P: a.P}
 	return gc, fineToCoarse, ca
 }
 
-// coarseBalance runs one weighted balance pass on the coarse graph,
-// moving whole clusters boundary-first. Flows are computed in fine-vertex
-// units from weighted δ bounds; each flow is realized greedily without
-// overshooting, so a small residual may remain for the fine polish.
-func coarseBalance(ctx context.Context, gc *graph.Graph, ca *partition.Assignment, targets []int, solver lp.Solver) (moved int, err error) {
+// CoarseBalance runs one weighted balance pass on a coarse graph whose
+// vertex weights count fine vertices, moving whole clusters
+// boundary-first. Flows are computed in fine-vertex units from weighted δ
+// bounds and realized greedily without overshooting, so a small residual
+// may remain for a fine-level polish; the escalation ladder relaxes ε up
+// to epsMax before giving up (moved = 0, no error) exactly like the
+// engine's balance stages. targets are the fine-level per-partition
+// vertex-count targets.
+func CoarseBalance(ctx context.Context, gc *graph.Graph, ca *partition.Assignment, targets []int, solver lp.Solver, epsMax float64) (moved int, err error) {
 	lay, err := layering.Layer(gc, ca)
 	if err != nil {
 		return 0, err
@@ -165,70 +180,37 @@ func coarseBalance(ctx context.Context, gc *graph.Graph, ca *partition.Assignmen
 	for q, w := range weights {
 		sizes[q] = int(math.Round(w))
 	}
-	m, err := balance.Formulate(wDelta, sizes, targets, 1)
-	if err != nil {
-		return 0, err
+	if epsMax < 1 {
+		epsMax = 1
 	}
-	flows, sol, err := balance.Solve(ctx, m, solver)
-	if err != nil {
-		return 0, err
-	}
-	if sol.Status != lp.Optimal {
-		return 0, nil // leave everything to the fine level
-	}
-	for _, f := range flows {
-		remaining := f.Amount
-		for _, v := range lay.Pool(f.From, f.To) {
-			w := int(math.Round(gc.VertexWeight(v)))
-			if w > remaining {
-				continue // a lighter cluster deeper in the pool may still fit
-			}
-			ca.Part[v] = f.To
-			remaining -= w
-			moved += w
-			if remaining == 0 {
-				break
+	for eps := 1.0; eps <= epsMax; eps++ {
+		m, err := balance.Formulate(wDelta, sizes, targets, eps)
+		if err != nil {
+			return 0, err
+		}
+		flows, sol, err := balance.Solve(ctx, m, solver)
+		if err != nil {
+			return 0, err
+		}
+		if sol.Status != lp.Optimal {
+			continue // relax further
+		}
+		for _, f := range flows {
+			remaining := f.Amount
+			for _, v := range lay.Pool(f.From, f.To) {
+				w := int(math.Round(gc.VertexWeight(v)))
+				if w > remaining {
+					continue // a lighter cluster deeper in the pool may still fit
+				}
+				ca.Part[v] = f.To
+				remaining -= w
+				moved += w
+				if remaining == 0 {
+					break
+				}
 			}
 		}
+		return moved, nil
 	}
-	return moved, nil
-}
-
-// MultilevelRepartition incrementally repartitions g via one
-// coarsen/balance/uncoarsen cycle followed by a fine-level polish. The
-// assignment a is updated in place; partition sizes end exactly balanced
-// (the polish guarantees it).
-func MultilevelRepartition(ctx context.Context, g *graph.Graph, a *partition.Assignment, opt Options) (*Stats, error) {
-	st := &Stats{}
-	if _, _, err := core.Assign(g, a); err != nil {
-		return nil, err
-	}
-	match := Match(g, a)
-	gc, fineToCoarse, ca := Contract(g, a, match)
-	st.CoarseVertices = gc.NumVertices()
-
-	solver := opt.Inner.Solver
-	if solver == nil {
-		solver = lp.Bounded{}
-	}
-	targets := partition.Targets(g.NumVertices(), a.P)
-	moved, err := coarseBalance(ctx, gc, ca, targets, solver)
-	if err != nil {
-		return nil, fmt.Errorf("coarsen: %w", err)
-	}
-	st.CoarseMoved = moved
-
-	// Project the coarse decision back to the fine level.
-	for _, v := range g.Vertices() {
-		a.Part[v] = ca.Part[fineToCoarse[v]]
-	}
-
-	// Fine polish: the residual imbalance is at most a few cluster
-	// granularities, so this converges in one or two cheap stages.
-	fine, err := core.Repartition(ctx, g, a, opt.Inner)
-	if err != nil {
-		return nil, err
-	}
-	st.Fine = fine
-	return st, nil
+	return 0, nil // infeasible at every ε: leave everything to the fine level
 }

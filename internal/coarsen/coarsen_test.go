@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/graph"
+	"repro/internal/lp"
 	"repro/internal/partition"
 )
 
@@ -93,58 +94,75 @@ func TestContractAggregatesEdgeWeights(t *testing.T) {
 	}
 }
 
-func TestMultilevelBalancesGrownGraph(t *testing.T) {
+func TestCoarseBalanceMovesWeight(t *testing.T) {
+	// A striped grid grown on one side is imbalanced; the weighted coarse
+	// balance pass must move whole clusters toward the light partitions.
 	rng := rand.New(rand.NewSource(2))
 	g, a := striped(8, 16, 4)
-	// Localized growth on the right edge.
 	prev := []graph.Vertex{graph.Vertex(15), graph.Vertex(31)}
 	for k := 0; k < 40; k++ {
 		v := g.AddVertex(1)
 		_ = g.AddEdge(v, prev[rng.Intn(len(prev))], 1)
 		prev = append(prev, v)
+		a.Part = append(a.Part, 3) // grow on the rightmost stripe
 	}
-	st, err := MultilevelRepartition(context.Background(), g, a, Options{})
+	match := Match(g, a)
+	gc, _, ca := Contract(g, a, match)
+	targets := partition.Targets(g.NumVertices(), a.P)
+	moved, err := CoarseBalance(context.Background(), gc, ca, targets, lp.Bounded{}, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Validate(g); err != nil {
-		t.Fatal(err)
+	if moved <= 0 {
+		t.Fatal("coarse balance moved nothing on an imbalanced graph")
 	}
-	sizes := a.Sizes(g)
-	targets := partition.Targets(g.NumVertices(), 4)
-	for q := range sizes {
-		if sizes[q] != targets[q] {
-			t.Fatalf("sizes %v != targets %v", sizes, targets)
-		}
-	}
-	if st.CoarseVertices >= g.NumVertices() {
-		t.Fatal("no coarsening happened")
-	}
-	if st.Fine == nil {
-		t.Fatal("missing fine stats")
+	before := maxDev(a.Weights(g), targets)
+	after := maxDev(ca.Weights(gc), targets)
+	if after >= before {
+		t.Fatalf("imbalance did not shrink: %g -> %g", before, after)
 	}
 }
 
-func TestMultilevelMatchesDirectQuality(t *testing.T) {
-	// Multilevel must land within a reasonable factor of direct IGP cut.
-	rng := rand.New(rand.NewSource(5))
-	build := func() (*graph.Graph, *partition.Assignment) {
-		g, a := striped(10, 20, 4)
-		prev := []graph.Vertex{graph.Vertex(19)}
-		for k := 0; k < 50; k++ {
-			v := g.AddVertex(1)
-			_ = g.AddEdge(v, prev[rng.Intn(len(prev))], 1)
-			prev = append(prev, v)
+func maxDev(w []float64, targets []int) float64 {
+	d := 0.0
+	for q := range w {
+		if dev := math.Abs(w[q] - float64(targets[q])); dev > d {
+			d = dev
 		}
-		return g, a
 	}
-	g1, a1 := build()
-	if _, err := MultilevelRepartition(context.Background(), g1, a1, Options{}); err != nil {
-		t.Fatal(err)
+	return d
+}
+
+func TestContractDeterministicAdjacency(t *testing.T) {
+	// The coarse graph must be byte-identical across runs, including
+	// adjacency order (it feeds float summations downstream).
+	build := func() *graph.Graph {
+		rng := rand.New(rand.NewSource(7))
+		g, err := graph.RandomGNM(60, 150, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := partition.New(g.Order(), 3)
+		for v := 0; v < g.Order(); v++ {
+			a.Part[v] = int32(v % 3)
+		}
+		gc, _, _ := Contract(g, a, Match(g, a))
+		return gc
 	}
-	mlCut := partition.Cut(g1, a1).TotalWeight
-	if mlCut <= 0 || math.IsNaN(mlCut) {
-		t.Fatalf("bad multilevel cut %g", mlCut)
+	g1, g2 := build(), build()
+	if g1.Order() != g2.Order() {
+		t.Fatalf("order %d != %d", g1.Order(), g2.Order())
+	}
+	for v := 0; v < g1.Order(); v++ {
+		n1, n2 := g1.Neighbors(graph.Vertex(v)), g2.Neighbors(graph.Vertex(v))
+		if len(n1) != len(n2) {
+			t.Fatalf("vertex %d degree %d != %d", v, len(n1), len(n2))
+		}
+		for i := range n1 {
+			if n1[i] != n2[i] {
+				t.Fatalf("vertex %d adjacency diverges at %d: %d != %d", v, i, n1[i], n2[i])
+			}
+		}
 	}
 }
 

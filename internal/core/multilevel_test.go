@@ -1,0 +1,98 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// striped returns a grid with vertical-stripe partitions.
+func striped(rows, cols, p int) (*graph.Graph, *partition.Assignment) {
+	g := graph.Grid(rows, cols)
+	a := partition.New(g.Order(), p)
+	w := cols / p
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			q := c / w
+			if q >= p {
+				q = p - 1
+			}
+			a.Part[r*cols+c] = int32(q)
+		}
+	}
+	return g, a
+}
+
+func TestMultilevelBalancesGrownGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, a := striped(8, 16, 4)
+	// Localized growth on the right edge.
+	prev := []graph.Vertex{graph.Vertex(15), graph.Vertex(31)}
+	for k := 0; k < 40; k++ {
+		v := g.AddVertex(1)
+		_ = g.AddEdge(v, prev[rng.Intn(len(prev))], 1)
+		prev = append(prev, v)
+	}
+	st, err := MultilevelRepartition(context.Background(), g, a, MultilevelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	sizes := a.Sizes(g)
+	targets := partition.Targets(g.NumVertices(), 4)
+	for q := range sizes {
+		if sizes[q] != targets[q] {
+			t.Fatalf("sizes %v != targets %v", sizes, targets)
+		}
+	}
+	if st.CoarseVertices >= g.NumVertices() {
+		t.Fatal("no coarsening happened")
+	}
+	if st.Fine == nil {
+		t.Fatal("missing fine stats")
+	}
+}
+
+func TestMultilevelMatchesDirectQuality(t *testing.T) {
+	// Multilevel must land within a reasonable factor of direct IGP cut.
+	rng := rand.New(rand.NewSource(5))
+	build := func() (*graph.Graph, *partition.Assignment) {
+		g, a := striped(10, 20, 4)
+		prev := []graph.Vertex{graph.Vertex(19)}
+		for k := 0; k < 50; k++ {
+			v := g.AddVertex(1)
+			_ = g.AddEdge(v, prev[rng.Intn(len(prev))], 1)
+			prev = append(prev, v)
+		}
+		return g, a
+	}
+	g1, a1 := build()
+	if _, err := MultilevelRepartition(context.Background(), g1, a1, MultilevelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	mlCut := partition.Cut(g1, a1).TotalWeight
+	if mlCut <= 0 || math.IsNaN(mlCut) {
+		t.Fatalf("bad multilevel cut %g", mlCut)
+	}
+}
+
+func TestMultilevelStatsClone(t *testing.T) {
+	g, a := striped(8, 16, 4)
+	st, err := MultilevelRepartition(context.Background(), g, a, MultilevelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := st.Clone()
+	if c.Fine == st.Fine {
+		t.Fatal("Clone did not detach Fine")
+	}
+	if c.CoarseVertices != st.CoarseVertices || c.CoarseMoved != st.CoarseMoved {
+		t.Fatal("Clone diverged")
+	}
+}

@@ -52,6 +52,7 @@ import (
 
 	"repro/internal/balance"
 	"repro/internal/cancel"
+	"repro/internal/coarsen"
 	"repro/internal/graph"
 	"repro/internal/layering"
 	"repro/internal/lp"
@@ -108,6 +109,16 @@ type Options struct {
 	// Results are bit-identical for every value — parallelism is purely
 	// a latency property.
 	Parallelism int
+	// Multilevel enables the V-cycle mode for large graphs: coarsen by
+	// same-partition heavy-edge matching down to a cheap size, solve the
+	// coarsest graph (weighted balance LP, or spectral init when the
+	// assignment is degenerate), then uncoarsen with per-level greedy
+	// refinement — all between phase 1 and the balancing stage loop,
+	// which becomes the fine polish. The hierarchy lives in the engine
+	// session and is journal-repaired on warm calls (see
+	// Stats.HierarchyRepaired). Disabled (the zero value), the flat
+	// pipeline is untouched.
+	Multilevel MultilevelOptions
 	// FullRefresh disables every delta shortcut in the derived-state
 	// pipeline: CSR snapshots are fully rebuilt instead of patched from
 	// the edit journal, the boundary set is rebuilt from scratch on
@@ -212,6 +223,30 @@ type Stats struct {
 	// the CutBefore/CutAfter reports and every refinement round's cut
 	// poll.
 	CutIncremental int
+	// V-cycle reporting (zero unless Options.Multilevel is enabled).
+	// Levels holds per-level hierarchy statistics, coarsest level last;
+	// like Stages it is an arena reused across calls.
+	Levels []LevelStats
+	// CoarsenTime and UncoarsenTime are the V-cycle's two legs
+	// (hierarchy update + coarsest solve; projection + per-level
+	// refinement). TotalTime includes both.
+	CoarsenTime   time.Duration
+	UncoarsenTime time.Duration
+	// HierarchyRepaired reports that every pre-existing hierarchy level
+	// was journal-repaired this call — the warm V-cycle path. False on
+	// the first multilevel call (nothing to repair) and whenever a level
+	// had to be recoarsened (journal overflow, dead-slot bloat,
+	// partition-count change, coarsening stall).
+	HierarchyRepaired bool
+	// CoarseMoved is the fine-vertex weight the coarsest solve moved;
+	// SpectralInit reports that the coarsest graph was partitioned from
+	// scratch by recursive spectral bisection (degenerate incoming
+	// assignment) rather than rebalanced by the weighted LP.
+	CoarseMoved  int
+	SpectralInit bool
+	// VCycleRefined counts the greedy per-level refinement moves applied
+	// during uncoarsening (all levels).
+	VCycleRefined int
 }
 
 // Clone returns a deep copy of the Stats, detached from the engine's
@@ -221,6 +256,7 @@ func (s *Stats) Clone() *Stats {
 	c := *s
 	c.Stages = append([]StageStats(nil), s.Stages...)
 	c.WorkerBusy = append([]time.Duration(nil), s.WorkerBusy...)
+	c.Levels = append([]LevelStats(nil), s.Levels...)
 	c.CutBefore.PerPart = append([]float64(nil), s.CutBefore.PerPart...)
 	c.CutAfter.PerPart = append([]float64(nil), s.CutAfter.PerPart...)
 	if s.Refine != nil {
@@ -231,17 +267,19 @@ func (s *Stats) Clone() *Stats {
 	return &c
 }
 
-// TotalTime sums the phase times.
+// TotalTime sums the phase times (including the V-cycle legs when
+// multilevel mode ran).
 func (s *Stats) TotalTime() time.Duration {
-	return s.AssignTime + s.LayerTime + s.BalanceTime + s.RefineTime
+	return s.AssignTime + s.CoarsenTime + s.UncoarsenTime + s.LayerTime + s.BalanceTime + s.RefineTime
 }
 
-// reset readies a Stats arena for reuse, keeping the Stages and
-// WorkerBusy capacity.
+// reset readies a Stats arena for reuse, keeping the Stages, WorkerBusy
+// and Levels capacity.
 func (s *Stats) reset() {
 	stages := s.Stages[:0]
 	busy := s.WorkerBusy[:0]
-	*s = Stats{Stages: stages, WorkerBusy: busy}
+	levels := s.Levels[:0]
+	*s = Stats{Stages: stages, WorkerBusy: busy, Levels: levels}
 }
 
 // MaxLPSize returns the largest (vars, cons) over all balancing stages —
@@ -316,6 +354,11 @@ type Engine struct {
 	bestPart []int32
 	flowBuf  []balance.Flow // per-stage flow arena (see balanceStage)
 	stats    Stats          // reused result arena; see Repartition
+
+	// V-cycle hierarchy, created lazily on the first multilevel
+	// Repartition and journal-repaired on later calls (nil when
+	// Options.Multilevel is disabled; dropped by Close).
+	ml *coarsen.Hierarchy
 
 	// The engine's sessionized LP solvers (deduplicated): polled for
 	// Stats.LPParallel in Repartition. lpFallback is the subset that
@@ -846,6 +889,12 @@ func (e *Engine) Repartition(ctx context.Context, a *partition.Assignment) (*Sta
 		st.CutBefore = partition.Cut(e.g, a)
 	} else {
 		e.cutStatsInto(&st.CutBefore, &e.cutPPB, a)
+	}
+
+	if opt.Multilevel.Enabled {
+		if err := e.runMultilevel(ctx, a, st); err != nil {
+			return st, err
+		}
 	}
 
 	if cap(e.targets) < a.P {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -177,6 +178,78 @@ func FuzzCSRPatchEquivalence(f *testing.F) {
 				// Interleave full pipeline runs so moves, stale pendings
 				// and refreshes mix the way a real session does.
 				_, _ = e.Repartition(context.Background(), a)
+			}
+		}
+		check()
+	})
+}
+
+// FuzzVCycleValidity is the multilevel quality fuzz: random edit
+// histories drive a V-cycle engine (tiny CoarsenTo so even fuzz-sized
+// graphs build real hierarchies). Every multilevel Repartition must
+// leave a valid assignment no matter what, exactly balanced when it
+// succeeds, and its cut must stay within a generous bound (2x + 16) of
+// a flat-pipeline run cloned from the same pre-call state — same-state
+// comparison, because letting two pipelines evolve separately would
+// measure accumulated basin divergence, not per-call quality. The
+// tighter paper-mesh bound is TestMultilevelCutWithinBoundOfFlat.
+func FuzzVCycleValidity(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(0))
+	f.Add(int64(42), uint8(30), uint8(3))
+	f.Add(int64(7), uint8(22), uint8(6))
+	f.Fuzz(func(t *testing.T, seed int64, edits uint8, procs uint8) {
+		workers := 1 + int(procs%8)
+		n := 60 + int(uint64(seed)%300)
+		p := 2 + int(uint64(seed)%4)
+		g, a := editableGraph(t, n, p, seed)
+		e := New(g, Options{
+			Refine:      true,
+			Parallelism: workers,
+			Multilevel:  MultilevelOptions{Enabled: true, CoarsenTo: 8, Seed: seed},
+		})
+		defer e.Close()
+		rng := rand.New(rand.NewSource(seed ^ 0x7c1e))
+		check := func() {
+			gF, aF := g.Clone(), a.Clone()
+			_, err := e.Repartition(context.Background(), a)
+			eF := New(gF, Options{Refine: true, Parallelism: workers})
+			_, errF := eF.Repartition(context.Background(), aF)
+			eF.Close()
+			// Infeasibility (ErrNeedRepartition) is a documented outcome
+			// of either pipeline on adversarial inputs, and the two can
+			// disagree (the V-cycle reshapes the configuration the fine
+			// stage loop then faces). The hard contract: the assignment
+			// stays valid no matter what; when both succeed, exact balance
+			// and the cut bound hold.
+			if err != nil && !errors.Is(err, ErrNeedRepartition) {
+				t.Fatalf("multilevel Repartition: %v", err)
+			}
+			if errF != nil && !errors.Is(errF, ErrNeedRepartition) {
+				t.Fatalf("flat Repartition: %v", errF)
+			}
+			if verr := a.Validate(g); verr != nil {
+				t.Fatalf("invalid multilevel assignment (err=%v): %v", err, verr)
+			}
+			if err != nil || errF != nil {
+				return
+			}
+			if dev := maxAbsDev(a.Sizes(g), partition.Targets(g.NumVertices(), a.P)); dev != 0 {
+				t.Fatalf("multilevel balance off by %d", dev)
+			}
+			flat := partition.Cut(gF, aF).TotalWeight
+			if ml := partition.Cut(g, a).TotalWeight; ml > 2*flat+16 {
+				t.Fatalf("V-cycle cut %g exceeds 2*%g+16 of flat", ml, flat)
+			}
+		}
+		check()
+		for i := 0; i < int(edits); i++ {
+			if i%2 == 0 {
+				randomEdit(g, a, rng)
+			} else {
+				randomGrowthEdit(g, a, rng)
+			}
+			if i%7 == 6 {
+				check()
 			}
 		}
 		check()

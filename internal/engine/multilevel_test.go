@@ -1,0 +1,261 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// grownGrid returns a striped grid with extra vertices attached on the
+// rightmost partition, so the initial assignment is valid but
+// imbalanced — the workload both the flat pipeline and the V-cycle must
+// rebalance.
+func grownGrid(rows, cols, p, extra int, seed int64) (*graph.Graph, *partition.Assignment) {
+	g := graph.Grid(rows, cols)
+	a := partition.New(g.Order(), p)
+	w := cols / p
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			q := c / w
+			if q >= p {
+				q = p - 1
+			}
+			a.Part[r*cols+c] = int32(q)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	prev := []graph.Vertex{graph.Vertex(cols - 1)}
+	for k := 0; k < extra; k++ {
+		v := g.AddVertex(1)
+		_ = g.AddEdge(v, prev[rng.Intn(len(prev))], 1)
+		a.Part = append(a.Part, int32(p-1))
+		prev = append(prev, v)
+	}
+	return g, a
+}
+
+func TestMultilevelColdVCycle(t *testing.T) {
+	// Cold start from a degenerate flood-fill: the V-cycle must produce
+	// a valid, exactly balanced assignment via the spectral coarsest
+	// init, and report the hierarchy it built.
+	g := graph.Grid(48, 48)
+	a := partition.New(g.Order(), 4)
+	for v := range a.Part {
+		a.Part[v] = 0
+	}
+	e := New(g, Options{Multilevel: MultilevelOptions{Enabled: true}})
+	defer e.Close()
+	st, err := e.Repartition(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	sizes := a.Sizes(g)
+	targets := partition.Targets(g.NumVertices(), a.P)
+	if maxAbsDev(sizes, targets) != 0 {
+		t.Fatalf("not exactly balanced: sizes %v targets %v", sizes, targets)
+	}
+	if !st.SpectralInit {
+		t.Fatal("degenerate cold start did not take the spectral coarsest init")
+	}
+	if st.HierarchyRepaired {
+		t.Fatal("first call cannot have repaired a hierarchy")
+	}
+	if len(st.Levels) == 0 {
+		t.Fatal("no hierarchy levels reported")
+	}
+	for l, ls := range st.Levels {
+		if !ls.Rebuilt {
+			t.Fatalf("level %d of a cold hierarchy not marked Rebuilt", l)
+		}
+		if ls.Vertices <= 0 {
+			t.Fatalf("level %d reports %d vertices", l, ls.Vertices)
+		}
+	}
+	if st.CoarsenTime <= 0 || st.TotalTime() < st.CoarsenTime+st.UncoarsenTime {
+		t.Fatalf("V-cycle timings not plumbed: coarsen %v uncoarsen %v total %v",
+			st.CoarsenTime, st.UncoarsenTime, st.TotalTime())
+	}
+}
+
+func TestMultilevelWarmRepartitionRepairs(t *testing.T) {
+	// After a cold V-cycle, a small edit batch must take the
+	// journal-repair path: no level recoarsened.
+	g, a := grownGrid(32, 32, 4, 0, 1)
+	e := New(g, Options{Multilevel: MultilevelOptions{Enabled: true}})
+	defer e.Close()
+	if _, err := e.Repartition(context.Background(), a); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for k := 0; k < 8; k++ {
+		randomEdit(g, a, rng)
+	}
+	st, err := e.Repartition(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.HierarchyRepaired {
+		t.Fatal("warm small-edit Repartition rebuilt the hierarchy instead of repairing it")
+	}
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if maxAbsDev(a.Sizes(g), partition.Targets(g.NumVertices(), a.P)) != 0 {
+		t.Fatal("warm multilevel call left imbalance")
+	}
+}
+
+func TestMultilevelCutWithinBoundOfFlat(t *testing.T) {
+	// Quality contract on a paper-scale mesh: the V-cycle's final cut
+	// (after the shared fine polish) stays within 1.5x + 16 of the flat
+	// pipeline's on the same imbalanced workload.
+	build := func(ml bool) float64 {
+		g, a := grownGrid(32, 32, 4, 120, 3)
+		opt := Options{Refine: true}
+		if ml {
+			opt.Multilevel = MultilevelOptions{Enabled: true}
+		}
+		e := New(g, opt)
+		defer e.Close()
+		st, err := e.Repartition(context.Background(), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		if maxAbsDev(a.Sizes(g), partition.Targets(g.NumVertices(), a.P)) != 0 {
+			t.Fatal("imbalanced result")
+		}
+		return st.CutAfter.TotalWeight
+	}
+	flat := build(false)
+	mlc := build(true)
+	if mlc > 1.5*flat+16 {
+		t.Fatalf("V-cycle cut %g exceeds bound 1.5*%g+16", mlc, flat)
+	}
+}
+
+func TestMultilevelDeterministicAcrossWorkers(t *testing.T) {
+	// The V-cycle is a sequential kernel inside a parallel engine: the
+	// full cold+warm history must be bit-identical at every worker count.
+	run := func(procs int) []int32 {
+		g, a := grownGrid(24, 24, 4, 40, 5)
+		e := New(g, Options{
+			Refine:      true,
+			Parallelism: procs,
+			Multilevel:  MultilevelOptions{Enabled: true, Seed: 11},
+		})
+		defer e.Close()
+		if _, err := e.Repartition(context.Background(), a); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(17))
+		for k := 0; k < 12; k++ {
+			randomEdit(g, a, rng)
+		}
+		if _, err := e.Repartition(context.Background(), a); err != nil {
+			t.Fatal(err)
+		}
+		return append([]int32(nil), a.Part...)
+	}
+	p1 := run(1)
+	for _, procs := range []int{2, 4} {
+		pn := run(procs)
+		if len(p1) != len(pn) {
+			t.Fatalf("assignment length differs at %d workers", procs)
+		}
+		for v := range p1 {
+			if p1[v] != pn[v] {
+				t.Fatalf("assignment diverges at vertex %d with %d workers: %d != %d",
+					v, procs, p1[v], pn[v])
+			}
+		}
+	}
+}
+
+func TestMultilevelDisabledLeavesPipelineUntouched(t *testing.T) {
+	g, a := grownGrid(16, 16, 4, 20, 7)
+	e := New(g, Options{})
+	defer e.Close()
+	st, err := e.Repartition(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Levels) != 0 || st.CoarsenTime != 0 || st.UncoarsenTime != 0 ||
+		st.HierarchyRepaired || st.SpectralInit || st.CoarseMoved != 0 || st.VCycleRefined != 0 {
+		t.Fatalf("flat pipeline leaked V-cycle stats: %+v", st)
+	}
+	if e.ml != nil {
+		t.Fatal("flat pipeline created a hierarchy")
+	}
+}
+
+func TestMultilevelObserverEventsPaired(t *testing.T) {
+	var events []Event
+	g, a := grownGrid(24, 24, 4, 30, 9)
+	e := New(g, Options{
+		Observer:   func(ev Event) { events = append(events, ev) },
+		Multilevel: MultilevelOptions{Enabled: true},
+	})
+	defer e.Close()
+	if _, err := e.Repartition(context.Background(), a); err != nil {
+		t.Fatal(err)
+	}
+	// Every Start must pair with an End of the same (Phase, Stage), and
+	// the coarsen/uncoarsen phases must both appear.
+	open := map[[2]int]int{}
+	sawCoarsen, sawUncoarsen := false, false
+	for _, ev := range events {
+		key := [2]int{int(ev.Phase), ev.Stage}
+		switch ev.Kind {
+		case EventStart:
+			open[key]++
+		case EventEnd:
+			open[key]--
+			if open[key] < 0 {
+				t.Fatalf("end without start: %+v", ev)
+			}
+		}
+		if ev.Phase == PhaseCoarsen {
+			sawCoarsen = true
+		}
+		if ev.Phase == PhaseUncoarsen {
+			sawUncoarsen = true
+		}
+	}
+	for key, n := range open {
+		if n != 0 {
+			t.Fatalf("unpaired span %v (%d open)", key, n)
+		}
+	}
+	if !sawCoarsen || !sawUncoarsen {
+		t.Fatalf("missing V-cycle phases: coarsen=%v uncoarsen=%v", sawCoarsen, sawUncoarsen)
+	}
+}
+
+func TestMultilevelStatsCloneDetachesLevels(t *testing.T) {
+	g, a := grownGrid(24, 24, 4, 30, 13)
+	e := New(g, Options{Multilevel: MultilevelOptions{Enabled: true}})
+	defer e.Close()
+	st, err := e.Repartition(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := st.Clone()
+	if len(clone.Levels) != len(st.Levels) {
+		t.Fatal("clone dropped levels")
+	}
+	if len(st.Levels) > 0 {
+		st.Levels[0].Vertices = -1
+		if clone.Levels[0].Vertices == -1 {
+			t.Fatal("clone aliases the Levels arena")
+		}
+	}
+}

@@ -2,16 +2,23 @@ package engine
 
 import "time"
 
-// Phase names one of the pipeline's four phases. The values are stable:
-// dashboards may persist them.
+// Phase names one phase of the pipeline. The values are stable:
+// dashboards may persist them (new phases are only ever appended).
 type Phase int8
 
-// The four phases of the incremental graph partitioner.
+// The four phases of the incremental graph partitioner, plus the two
+// V-cycle phases that bracket them when Options.Multilevel is enabled.
 const (
 	PhaseAssign  Phase = iota // phase 1: nearest-partition assignment
 	PhaseLayer                // phase 2: boundary layering
 	PhaseBalance              // phase 3: the balance LP + moves
 	PhaseRefine               // phase 4: LP cut refinement (IGPR)
+	// PhaseCoarsen is the V-cycle's down-leg: hierarchy update (journal
+	// repair or rebuild per level) plus the coarsest-graph solve.
+	PhaseCoarsen
+	// PhaseUncoarsen is the V-cycle's up-leg: per-level projection and
+	// greedy refinement back to the fine graph.
+	PhaseUncoarsen
 )
 
 func (p Phase) String() string {
@@ -24,6 +31,10 @@ func (p Phase) String() string {
 		return "balance"
 	case PhaseRefine:
 		return "refine"
+	case PhaseCoarsen:
+		return "coarsen"
+	case PhaseUncoarsen:
+		return "uncoarsen"
 	}
 	return "unknown"
 }
@@ -60,6 +71,12 @@ func (k EventKind) String() string {
 // goroutine, with every EventEnd following its EventStart:
 //
 //	assign start/end,
+//	then if multilevel is enabled:
+//	  coarsen start, per-level coarsen start/end pairs (Stage = 1-based
+//	  level, emitted back-to-back after the level's work with its
+//	  measured Elapsed), coarsen end,
+//	  uncoarsen start, per-level pairs in uncoarsening order (Stage
+//	  descending), uncoarsen end,
 //	then per balancing stage s: layer start/end (Stage=s),
 //	balance start/end (Stage=s, Epsilon, Moved),
 //	then if refinement is enabled: refine start, refine rounds, refine end.

@@ -109,6 +109,53 @@ func Path(n int) *Graph {
 	return g
 }
 
+// PowerLaw returns an n-vertex Barabási–Albert preferential-attachment
+// graph: each new vertex attaches m unit-weight edges to existing
+// vertices chosen proportionally to their current degree (via the
+// standard repeated-endpoint trick), yielding the heavy-tailed degree
+// distribution of web/social workloads — the adversarial counterpart to
+// the bounded-degree meshes for multilevel coarsening. The graph is
+// connected and deterministic for a fixed rng state.
+func PowerLaw(n, m int, rng *rand.Rand) (*Graph, error) {
+	if m < 1 || n < m+1 {
+		return nil, fmt.Errorf("graph: PowerLaw(n=%d, m=%d) needs m ≥ 1 and n > m", n, m)
+	}
+	g := NewWithVertices(n)
+	// endpoints lists every edge endpoint so far; sampling it uniformly
+	// is degree-proportional sampling.
+	endpoints := make([]Vertex, 0, 2*m*n)
+	// Seed: an (m+1)-clique so the first preferential round has degrees.
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			g.AddEdgeUnchecked(Vertex(i), Vertex(j), 1)
+			endpoints = append(endpoints, Vertex(i), Vertex(j))
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		added := 0
+		for attempts := 0; added < m && attempts < 32*m; attempts++ {
+			u := endpoints[rng.Intn(len(endpoints))]
+			if int(u) == v || g.HasEdge(Vertex(v), u) {
+				continue
+			}
+			g.AddEdgeUnchecked(Vertex(v), u, 1)
+			endpoints = append(endpoints, Vertex(v), u)
+			added++
+		}
+		for ; added < m; added++ {
+			// Dense corner case: fall back to the lowest-id non-neighbor.
+			for u := 0; u < v; u++ {
+				if !g.HasEdge(Vertex(v), Vertex(u)) {
+					g.AddEdgeUnchecked(Vertex(v), Vertex(u), 1)
+					endpoints = append(endpoints, Vertex(v), Vertex(u))
+					break
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
 // Complete returns the n-vertex complete graph.
 func Complete(n int) *Graph {
 	g := NewWithVertices(n)

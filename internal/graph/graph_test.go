@@ -475,3 +475,46 @@ func TestTotalVertexWeight(t *testing.T) {
 		t.Fatalf("total weight after removal = %g, want 3.5", got)
 	}
 }
+
+func TestPowerLawProperties(t *testing.T) {
+	// Shape: n vertices, exactly m(m+1)/2 + (n-m-1)·m edges (clique seed
+	// plus m per arrival), connected, heavy-tailed (the max degree far
+	// exceeds the mean), and deterministic for a fixed seed.
+	const n, m = 2000, 4
+	g, err := PowerLaw(n, m, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != n {
+		t.Fatalf("order %d, want %d", g.NumVertices(), n)
+	}
+	wantE := m*(m+1)/2 + (n-m-1)*m
+	if g.NumEdges() != wantE {
+		t.Fatalf("edges %d, want %d", g.NumEdges(), wantE)
+	}
+	if _, comps := g.Components(); comps != 1 {
+		t.Fatalf("%d components, want 1", comps)
+	}
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := g.Degree(Vertex(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if mean := 2 * wantE / n; maxDeg < 6*mean {
+		t.Fatalf("max degree %d not heavy-tailed (mean %d)", maxDeg, mean)
+	}
+	h, err := PowerLaw(n, m, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		gr, hr := g.Neighbors(Vertex(v)), h.Neighbors(Vertex(v))
+		if len(gr) != len(hr) {
+			t.Fatalf("vertex %d: degree differs between identical seeds", v)
+		}
+	}
+	if _, err := PowerLaw(3, 4, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("PowerLaw(3, 4) accepted")
+	}
+}

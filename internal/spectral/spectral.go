@@ -6,6 +6,12 @@
 // of the graph Laplacian L = D − W — is computed with Lanczos iteration
 // (full reorthogonalization) after deflating the trivial constant null
 // vector, exactly the Pothen–Simon–Liou construction the paper cites.
+//
+// Ownership: unlike the engine's Stats and the coarsen Hierarchy —
+// whose returned slices are arenas overwritten by the next call — every
+// slice this package returns (Fiedler vector, Bisect sides, RSB labels)
+// is freshly allocated and caller-owned; nothing aliases package or
+// graph internals, and no call mutates its input graph.
 package spectral
 
 import (
@@ -50,7 +56,8 @@ func isqrt(n int) int {
 
 // Fiedler returns the Fiedler vector of the connected graph g, indexed by
 // vertex slot (entries for dead slots are 0). The vector has unit norm and
-// is orthogonal to the constant vector on live vertices.
+// is orthogonal to the constant vector on live vertices. The returned
+// slice is freshly allocated and caller-owned.
 func Fiedler(g *graph.Graph, opt Options) ([]float64, error) {
 	csr := g.ToCSR()
 	n := csr.Order()
@@ -124,7 +131,8 @@ func laplacianApply(c *graph.CSR, x, y []float64) {
 // Bisect splits the live vertices of g into two groups whose vertex-weight
 // totals approximate targetA : (total−targetA), by sorting on the Fiedler
 // value and cutting at the weighted quantile. Ties in Fiedler value are
-// broken by vertex id for determinism.
+// broken by vertex id for determinism. Both returned sides are freshly
+// allocated and caller-owned.
 func Bisect(g *graph.Graph, targetA float64, opt Options) (a, b []graph.Vertex, err error) {
 	vs := g.Vertices()
 	if len(vs) < 2 {
@@ -226,7 +234,7 @@ func bisectDisconnected(g *graph.Graph, targetA float64, opt Options) (a, b []gr
 
 // RSB partitions g into p parts of near-equal vertex weight by recursive
 // spectral bisection, returning a per-vertex-slot partition label (−1 for
-// dead slots).
+// dead slots). The returned slice is freshly allocated and caller-owned.
 //
 // p need not be a power of two: at each level the part count is split as
 // ⌈p/2⌉ / ⌊p/2⌋ and the weight target proportionally.

@@ -4,26 +4,36 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // PhaseTimings is the per-phase wall-clock breakdown of one Repartition
 // call: phase 1 nearest-partition assignment, phase 2 boundary layering
 // (summed over balancing stages), phase 3 LP balancing (formulate +
-// solve + move, summed over stages), and phase 4 refinement. For a
-// single-pass run their sum is within bookkeeping noise of
+// solve + move, summed over stages), and phase 4 refinement. Under
+// [WithMultilevel], Coarsen (hierarchy update plus coarsest solve) and
+// Uncoarsen (projection plus per-level refinement) cover the V-cycle
+// legs run between assignment and balancing; both are zero otherwise.
+// For a single-pass run their sum is within bookkeeping noise of
 // Stats.Elapsed; a WithBatches(k>1) run sums the per-batch pipelines,
 // which excludes the subgraph construction between batches.
 type PhaseTimings struct {
-	Assign  time.Duration
-	Layer   time.Duration
-	Balance time.Duration
-	Refine  time.Duration
+	Assign    time.Duration
+	Coarsen   time.Duration
+	Uncoarsen time.Duration
+	Layer     time.Duration
+	Balance   time.Duration
+	Refine    time.Duration
 }
 
-// Total sums the four phases.
+// Total sums the phases.
 func (t PhaseTimings) Total() time.Duration {
-	return t.Assign + t.Layer + t.Balance + t.Refine
+	return t.Assign + t.Coarsen + t.Uncoarsen + t.Layer + t.Balance + t.Refine
 }
+
+// LevelStats reports what one [WithMultilevel] Repartition did at one
+// hierarchy level; see [Stats.Levels].
+type LevelStats = engine.LevelStats
 
 // Stats reports what Repartition did.
 //
@@ -96,6 +106,25 @@ type Stats struct {
 	// slot overflow forced a compacting rebuild, or under
 	// [WithFullRefresh].
 	CSRPatched int
+	// Levels reports the [WithMultilevel] hierarchy bottom-up: sizes,
+	// repair-vs-rebuild outcome and timings of each coarse level. It is
+	// empty when the V-cycle is disabled. Like the rest of an engine's
+	// Stats arena it is overwritten by the next call; Clone detaches it.
+	Levels []LevelStats
+	// HierarchyRepaired reports that a [WithMultilevel] call repaired
+	// every pre-existing hierarchy level from the graph's edit journal —
+	// the warm path — instead of recoarsening any of them from scratch.
+	HierarchyRepaired bool
+	// SpectralInit reports that the coarsest level was partitioned by the
+	// spectral solve (degenerate incoming assignment) rather than the
+	// weighted balance LP.
+	SpectralInit bool
+	// CoarseMoved is the level-0 vertex weight moved by the coarsest
+	// solve, and VCycleRefined counts the greedy refinement moves applied
+	// across all uncoarsening levels (both zero without [WithMultilevel];
+	// BalanceMoved/RefineMoved count the fine polish separately).
+	CoarseMoved   int
+	VCycleRefined int
 	// CutIncremental counts cutset evaluations during this call served
 	// incrementally from the maintained partition-boundary set (cost
 	// proportional to the boundary, bit-identical to the full rescan)
@@ -115,6 +144,7 @@ func (s *Stats) Clone() *Stats {
 	c.StagePivots = append([]int(nil), s.StagePivots...)
 	c.RoundPivots = append([]int(nil), s.RoundPivots...)
 	c.WorkerBusy = append([]time.Duration(nil), s.WorkerBusy...)
+	c.Levels = append([]LevelStats(nil), s.Levels...)
 	c.CutBefore.PerPart = append([]float64(nil), s.CutBefore.PerPart...)
 	c.CutAfter.PerPart = append([]float64(nil), s.CutAfter.PerPart...)
 	return &c
@@ -135,27 +165,35 @@ func convertStatsInto(dst *Stats, st *core.Stats) {
 		rounds = append(rounds, st.Refine.RoundPivots...)
 	}
 	busy := append(dst.WorkerBusy[:0], st.WorkerBusy...)
+	levels := append(dst.Levels[:0], st.Levels...)
 	*dst = Stats{
-		NewAssigned:    st.NewAssigned,
-		Stages:         len(st.Stages),
-		EpsilonUsed:    eps,
-		StagePivots:    pivots,
-		RoundPivots:    rounds,
-		BalanceMoved:   st.BalanceMoved,
-		LPIterations:   st.LPIterations,
-		Parallelism:    st.Parallelism,
-		WorkerBusy:     busy,
-		LPParallel:     st.LPParallel,
-		MWUFallbacks:   st.MWUFallbacks,
-		CSRPatched:     st.CSRPatched,
-		CutIncremental: st.CutIncremental,
-		CutBefore:      st.CutBefore,
-		CutAfter:       st.CutAfter,
+		NewAssigned:       st.NewAssigned,
+		Stages:            len(st.Stages),
+		EpsilonUsed:       eps,
+		StagePivots:       pivots,
+		RoundPivots:       rounds,
+		BalanceMoved:      st.BalanceMoved,
+		LPIterations:      st.LPIterations,
+		Parallelism:       st.Parallelism,
+		WorkerBusy:        busy,
+		LPParallel:        st.LPParallel,
+		MWUFallbacks:      st.MWUFallbacks,
+		CSRPatched:        st.CSRPatched,
+		CutIncremental:    st.CutIncremental,
+		CutBefore:         st.CutBefore,
+		CutAfter:          st.CutAfter,
+		Levels:            levels,
+		HierarchyRepaired: st.HierarchyRepaired,
+		SpectralInit:      st.SpectralInit,
+		CoarseMoved:       st.CoarseMoved,
+		VCycleRefined:     st.VCycleRefined,
 		PhaseTimings: PhaseTimings{
-			Assign:  st.AssignTime,
-			Layer:   st.LayerTime,
-			Balance: st.BalanceTime,
-			Refine:  st.RefineTime,
+			Assign:    st.AssignTime,
+			Coarsen:   st.CoarsenTime,
+			Uncoarsen: st.UncoarsenTime,
+			Layer:     st.LayerTime,
+			Balance:   st.BalanceTime,
+			Refine:    st.RefineTime,
 		},
 		Elapsed: st.Elapsed,
 	}
