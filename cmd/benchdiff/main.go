@@ -28,6 +28,7 @@ type benchFile struct {
 	Trajectory   int          `json:"trajectory"`
 	PhaseTimings phaseRecord  `json:"phase_timings"`
 	Multilevel   *mlRecord    `json:"multilevel"`
+	Multilevel1M *mlRecord    `json:"multilevel_1m"`
 	Benchmarks   []benchEntry `json:"benchmarks"`
 }
 
@@ -40,14 +41,17 @@ type phaseRecord struct {
 }
 
 type mlRecord struct {
-	P    int `json:"p"`
-	Rows []struct {
-		Workload string  `json:"workload"`
-		N        int     `json:"n"`
-		Mode     string  `json:"mode"`
-		TimeNS   int64   `json:"time_ns"`
-		Cut      float64 `json:"cut"`
-	} `json:"rows"`
+	P    int     `json:"p"`
+	Rows []mlRow `json:"rows"`
+}
+
+type mlRow struct {
+	Workload string  `json:"workload"`
+	N        int     `json:"n"`
+	Mode     string  `json:"mode"`
+	Procs    int     `json:"procs"`
+	TimeNS   int64   `json:"time_ns"`
+	Cut      float64 `json:"cut"`
 }
 
 type benchEntry struct {
@@ -59,11 +63,23 @@ type benchEntry struct {
 
 func main() {
 	threshold := flag.Float64("threshold", 10, "flag deltas beyond this many percent")
+	xprocs := flag.Bool("xprocs", false, "cross-procs mode: read ONE artifact and report multilevel speedup across its worker counts")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json\n")
+		fmt.Fprintf(os.Stderr, "       benchdiff -xprocs FILE.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *xprocs {
+		if flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		f, err := load(flag.Arg(0))
+		exitOn(err)
+		crossProcs(f)
+		return
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)
@@ -77,7 +93,8 @@ func main() {
 	fmt.Printf("Report-only — wall clocks on shared runners are noisy; deltas beyond ±%.0f%% are flagged for a human eye, never for a merge gate.\n\n", *threshold)
 	diffBenchmarks(oldF, newF, *threshold)
 	diffPhases(oldF, newF, *threshold)
-	diffMultilevel(oldF, newF, *threshold)
+	diffMultilevel("Multilevel row", oldF.Multilevel, newF.Multilevel, *threshold)
+	diffMultilevel("Multilevel 10⁶ row", oldF.Multilevel1M, newF.Multilevel1M, *threshold)
 }
 
 func load(path string) (*benchFile, error) {
@@ -182,34 +199,84 @@ func diffPhases(oldF, newF *benchFile, threshold float64) {
 	fmt.Println()
 }
 
-// diffMultilevel diffs the large-graph V-cycle tier when both artifacts
-// carry it (older trajectories predate the field).
-func diffMultilevel(oldF, newF *benchFile, threshold float64) {
-	if oldF.Multilevel == nil || newF.Multilevel == nil {
+// diffMultilevel diffs one large-graph V-cycle tier record when both
+// artifacts carry it (older trajectories predate the field; rows from
+// artifacts that predate the procs axis key as procs=0 and show as
+// added/removed once).
+func diffMultilevel(title string, oldR, newR *mlRecord, threshold float64) {
+	if oldR == nil || newR == nil {
 		return
 	}
-	type key struct{ workload, mode string }
-	oldBy := map[key]struct {
-		t   int64
-		cut float64
-	}{}
-	for _, r := range oldF.Multilevel.Rows {
-		oldBy[key{r.Workload, r.Mode}] = struct {
-			t   int64
-			cut float64
-		}{r.TimeNS, r.Cut}
+	type key struct {
+		workload, mode string
+		procs          int
 	}
-	fmt.Printf("| Multilevel row | old ns | new ns | Δ time | old cut | new cut | Δ cut |\n")
+	oldBy := map[key]mlRow{}
+	for _, r := range oldR.Rows {
+		oldBy[key{r.Workload, r.Mode, r.Procs}] = r
+	}
+	fmt.Printf("| %s | old ns | new ns | Δ time | old cut | new cut | Δ cut |\n", title)
 	fmt.Printf("|---|---:|---:|---:|---:|---:|---:|\n")
-	for _, r := range newF.Multilevel.Rows {
-		o, ok := oldBy[key{r.Workload, r.Mode}]
+	for _, r := range newR.Rows {
+		o, ok := oldBy[key{r.Workload, r.Mode, r.Procs}]
 		if !ok {
-			fmt.Printf("| %s/%s | — | %d | added | — | %.0f | |\n", r.Workload, r.Mode, r.TimeNS, r.Cut)
+			fmt.Printf("| %s/%s@%d | — | %d | added | — | %.0f | |\n", r.Workload, r.Mode, r.Procs, r.TimeNS, r.Cut)
 			continue
 		}
-		fmt.Printf("| %s/%s | %d | %d | %s | %.0f | %.0f | %s |\n",
-			r.Workload, r.Mode, o.t, r.TimeNS, pct(float64(o.t), float64(r.TimeNS), threshold),
-			o.cut, r.Cut, pct(o.cut, r.Cut, threshold))
+		fmt.Printf("| %s/%s@%d | %d | %d | %s | %.0f | %.0f | %s |\n",
+			r.Workload, r.Mode, r.Procs, o.TimeNS, r.TimeNS, pct(float64(o.TimeNS), float64(r.TimeNS), threshold),
+			o.Cut, r.Cut, pct(o.Cut, r.Cut, threshold))
 	}
 	fmt.Println()
+}
+
+// crossProcs is the -xprocs report: within ONE artifact, the multilevel
+// rows are grouped by workload/mode and compared across worker counts,
+// with the smallest count as baseline. This is the scaling evidence the
+// CI multi-core job drops into its step summary — and because results
+// are bit-identical across counts, a cut mismatch inside a group is
+// flagged as a determinism violation.
+func crossProcs(f *benchFile) {
+	printed := false
+	for _, rec := range []struct {
+		name string
+		r    *mlRecord
+	}{{"multilevel", f.Multilevel}, {"multilevel_1m", f.Multilevel1M}} {
+		if rec.r == nil {
+			continue
+		}
+		printed = true
+		type key struct{ workload, mode string }
+		groups := map[key][]mlRow{}
+		var order []key
+		for _, r := range rec.r.Rows {
+			k := key{r.Workload, r.Mode}
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], r)
+		}
+		fmt.Printf("### V-cycle scaling (%s, P=%d)\n\n", rec.name, rec.r.P)
+		fmt.Printf("| Row | procs | ns | speedup | cut |\n|---|---:|---:|---:|---:|\n")
+		for _, k := range order {
+			rows := groups[k]
+			sort.Slice(rows, func(i, j int) bool { return rows[i].Procs < rows[j].Procs })
+			base := rows[0]
+			for _, r := range rows {
+				sp := "1.00×"
+				if r.Procs != base.Procs && r.TimeNS > 0 {
+					sp = fmt.Sprintf("%.2f×", float64(base.TimeNS)/float64(r.TimeNS))
+				}
+				cut := fmt.Sprintf("%.0f", r.Cut)
+				if r.Cut != base.Cut {
+					cut += " ⚠ DETERMINISM"
+				}
+				fmt.Printf("| %s/%s | %d | %d | %s | %s |\n", k.workload, k.mode, r.Procs, r.TimeNS, sp, cut)
+			}
+		}
+		fmt.Println()
+	}
+	if !printed {
+		fmt.Println("no multilevel records in artifact")
+	}
 }

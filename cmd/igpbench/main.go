@@ -42,6 +42,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (tables: incremental, solvers, serve, multilevel)")
 	largeN := flag.Int("n", 100000, "large-graph tier size (table: multilevel)")
 	check := flag.Bool("check", false, "multilevel CI assert mode: smoke size, no flat baseline, nonzero exit on any contract failure")
+	procsList := flag.String("procslist", "", "comma-separated worker counts for the multilevel table (one row set per count; overrides -procs there)")
 	flag.Parse()
 
 	// The registry resolves built-ins and any solver an out-of-tree build
@@ -165,8 +166,21 @@ func main() {
 		// clock) when not in -check mode. MultilevelTable's own assertions
 		// (validity, exact balance, grid warm hierarchy repair) make
 		// -check a CI gate: any violation exits nonzero via exitOn.
-		rows, err := bench.MultilevelTable(cfg, *largeN, !*check)
+		// -procslist repeats the tier at each worker count so one run
+		// records the scaling curve; the results are bit-identical across
+		// counts (the determinism contract), so repeat runs only add Time
+		// columns. The flat baseline runs once: its wall clock is the
+		// from-scratch anchor, not part of the scaling curve.
+		counts, err := parseProcsList(*procsList, *procs)
 		exitOn(err)
+		var rows []bench.MultilevelRow
+		for i, pc := range counts {
+			pcfg := cfg
+			pcfg.Parallelism = pc
+			r, err := bench.MultilevelTable(pcfg, *largeN, !*check && i == 0)
+			exitOn(err)
+			rows = append(rows, r...)
+		}
 		if *table == "multilevel" && *jsonOut {
 			fmt.Println(multilevelJSON(rows, cfg.P))
 			return
@@ -228,15 +242,33 @@ func solversJSON(rows []bench.SolverRow, p int) string {
 
 // multilevelJSON renders the large-graph tier as one JSON object, the
 // record scripts/bench.sh folds into BENCH_<n>.json: per workload
-// family and mode, wall clock, resulting cut, hierarchy depth and
-// whether the warm path journal-repaired the hierarchy.
+// family, mode and worker count, wall clock, resulting cut, hierarchy
+// depth and whether the warm path journal-repaired the hierarchy. The
+// procs field is the scaling axis benchdiff diffs along (-xprocs).
 func multilevelJSON(rows []bench.MultilevelRow, p int) string {
 	parts := make([]string, len(rows))
 	for i, r := range rows {
-		parts[i] = fmt.Sprintf(`{"workload": %q, "n": %d, "m": %d, "mode": %q, "time_ns": %d, "cut": %g, "levels": %d, "repaired": %v, "balanced": %v}`,
-			r.Workload, r.N, r.E, r.Mode, r.Time.Nanoseconds(), r.Cut, r.Levels, r.Repaired, r.Balanced)
+		parts[i] = fmt.Sprintf(`{"workload": %q, "n": %d, "m": %d, "mode": %q, "procs": %d, "time_ns": %d, "cut": %g, "levels": %d, "repaired": %v, "balanced": %v}`,
+			r.Workload, r.N, r.E, r.Mode, r.Procs, r.Time.Nanoseconds(), r.Cut, r.Levels, r.Repaired, r.Balanced)
 	}
 	return fmt.Sprintf(`{"p": %d, "rows": [%s]}`, p, strings.Join(parts, ", "))
+}
+
+// parseProcsList parses the -procslist flag into worker counts, falling
+// back to the single -procs value when unset.
+func parseProcsList(list string, procs int) ([]int, error) {
+	if list == "" {
+		return []int{procs}, nil
+	}
+	var counts []int
+	for _, f := range strings.Split(list, ",") {
+		var c int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &c); err != nil || c < 0 {
+			return nil, fmt.Errorf("igpbench: -procslist %q: bad worker count %q", list, f)
+		}
+		counts = append(counts, c)
+	}
+	return counts, nil
 }
 
 func exitOn(err error) {

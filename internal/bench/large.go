@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 
@@ -31,6 +32,7 @@ type MultilevelRow struct {
 	Workload string        // "grid" or "powerlaw"
 	N, E     int           // graph size
 	Mode     string        // "vcycle-cold", "vcycle-warm", "flat-rsb"
+	Procs    int           // worker count the sharded kernels ran at
 	Time     time.Duration // wall clock of the run
 	Cut      float64       // resulting cut weight
 	Levels   int           // hierarchy depth (V-cycle rows)
@@ -60,6 +62,10 @@ func largeWorkload(name string, n int, seed int64) (*graph.Graph, error) {
 // baseline row (minutes of wall clock at n = 10⁵).
 func MultilevelTable(cfg Config, n int, includeFlat bool) ([]MultilevelRow, error) {
 	cfg = cfg.withDefaults()
+	procs := cfg.Parallelism
+	if procs == 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
 	var rows []MultilevelRow
 	for _, name := range []string{"grid", "powerlaw"} {
 		g, err := largeWorkload(name, n, cfg.Seed)
@@ -83,7 +89,7 @@ func MultilevelTable(cfg Config, n int, includeFlat bool) ([]MultilevelRow, erro
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s cold V-cycle: %w", name, err)
 		}
-		row, err := multilevelRow(g, a, name, "vcycle-cold", cold, len(st.Levels), st.HierarchyRepaired)
+		row, err := multilevelRow(g, a, name, "vcycle-cold", procs, cold, len(st.Levels), st.HierarchyRepaired)
 		if err != nil {
 			return nil, err
 		}
@@ -100,7 +106,7 @@ func MultilevelTable(cfg Config, n int, includeFlat bool) ([]MultilevelRow, erro
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s settle V-cycle: %w", name, err)
 		}
-		row, err = multilevelRow(g, a, name, "vcycle-settle", settle, len(st.Levels), st.HierarchyRepaired)
+		row, err = multilevelRow(g, a, name, "vcycle-settle", procs, settle, len(st.Levels), st.HierarchyRepaired)
 		if err != nil {
 			return nil, err
 		}
@@ -122,7 +128,7 @@ func MultilevelTable(cfg Config, n int, includeFlat bool) ([]MultilevelRow, erro
 		if name == "grid" && !st.HierarchyRepaired {
 			return nil, fmt.Errorf("bench: %s warm V-cycle recoarsened instead of repairing the hierarchy", name)
 		}
-		row, err = multilevelRow(g, a, name, "vcycle-warm", warm, len(st.Levels), st.HierarchyRepaired)
+		row, err = multilevelRow(g, a, name, "vcycle-warm", procs, warm, len(st.Levels), st.HierarchyRepaired)
 		if err != nil {
 			return nil, err
 		}
@@ -131,7 +137,7 @@ func MultilevelTable(cfg Config, n int, includeFlat bool) ([]MultilevelRow, erro
 
 		if includeFlat && name == "grid" {
 			t0 = time.Now()
-			parts, err := spectral.RSB(g, cfg.P, spectral.Options{Seed: cfg.Seed})
+			parts, err := spectral.RSB(g, cfg.P, spectral.Options{Seed: cfg.Seed, Procs: procs})
 			flat := time.Since(t0)
 			if err != nil {
 				return nil, fmt.Errorf("bench: %s flat RSB: %w", name, err)
@@ -141,7 +147,7 @@ func MultilevelTable(cfg Config, n int, includeFlat bool) ([]MultilevelRow, erro
 			cut := partition.Cut(g, af)
 			rows = append(rows, MultilevelRow{
 				Workload: name, N: g.NumVertices(), E: g.NumEdges(),
-				Mode: "flat-rsb", Time: flat, Cut: cut.TotalWeight,
+				Mode: "flat-rsb", Procs: procs, Time: flat, Cut: cut.TotalWeight,
 				Balanced: balancedExactly(g, af),
 			})
 		}
@@ -151,13 +157,13 @@ func MultilevelTable(cfg Config, n int, includeFlat bool) ([]MultilevelRow, erro
 
 // multilevelRow validates the run's hard contract (valid assignment,
 // exact balance) and packages the measurement.
-func multilevelRow(g *graph.Graph, a *partition.Assignment, workload, mode string, d time.Duration, levels int, repaired bool) (MultilevelRow, error) {
+func multilevelRow(g *graph.Graph, a *partition.Assignment, workload, mode string, procs int, d time.Duration, levels int, repaired bool) (MultilevelRow, error) {
 	if err := a.Validate(g); err != nil {
 		return MultilevelRow{}, fmt.Errorf("bench: %s %s left an invalid assignment: %w", workload, mode, err)
 	}
 	row := MultilevelRow{
 		Workload: workload, N: g.NumVertices(), E: g.NumEdges(),
-		Mode: mode, Time: d, Cut: partition.Cut(g, a).TotalWeight,
+		Mode: mode, Procs: procs, Time: d, Cut: partition.Cut(g, a).TotalWeight,
 		Levels: levels, Repaired: repaired, Balanced: balancedExactly(g, a),
 	}
 	if !row.Balanced {
@@ -186,11 +192,11 @@ func balancedExactly(g *graph.Graph, a *partition.Assignment) bool {
 func FormatMultilevel(rows []MultilevelRow, p int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Large-graph multilevel tier (P=%d)\n", p)
-	fmt.Fprintf(&b, "  %-10s %8s %9s %-12s %10s %9s %7s %9s\n",
-		"Workload", "N", "E", "Mode", "Time", "Cut", "Levels", "Repaired")
+	fmt.Fprintf(&b, "  %-10s %8s %9s %-12s %6s %10s %9s %7s %9s\n",
+		"Workload", "N", "E", "Mode", "Procs", "Time", "Cut", "Levels", "Repaired")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "  %-10s %8d %9d %-12s %10s %9.0f %7d %9v\n",
-			r.Workload, r.N, r.E, r.Mode, fmtDur(r.Time), r.Cut, r.Levels, r.Repaired)
+		fmt.Fprintf(&b, "  %-10s %8d %9d %-12s %6d %10s %9.0f %7d %9v\n",
+			r.Workload, r.N, r.E, r.Mode, r.Procs, fmtDur(r.Time), r.Cut, r.Levels, r.Repaired)
 	}
 	return b.String()
 }

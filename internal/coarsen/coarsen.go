@@ -34,50 +34,37 @@ import (
 	"repro/internal/graph"
 	"repro/internal/layering"
 	"repro/internal/lp"
+	"repro/internal/par"
 	"repro/internal/partition"
 )
 
 // Match computes a heavy-edge matching restricted to pairs within the
 // same partition. match[v] is v's partner (or v itself when unmatched);
-// dead vertices map to themselves. The result is deterministic: vertices
-// are visited in increasing-degree order (ties by id) and partner ties
-// break toward the smaller id. The returned slice is freshly allocated
-// and caller-owned (unlike Hierarchy's arena-backed returns).
+// dead vertices map to themselves. The result is deterministic — rounds
+// of mutual proposals under a fixed total edge order (weight descending,
+// then a symmetric edge hash, then partner id) — and identical at every
+// worker count; Match is the sequential entry point. The returned slice
+// is freshly allocated and caller-owned (unlike Hierarchy's arena-backed
+// returns).
 func Match(g *graph.Graph, a *partition.Assignment) []graph.Vertex {
+	return MatchPar(g, a, nil, 1)
+}
+
+// MatchPar is Match sharded over a worker group: procs <= 1 (or a nil
+// group with procs > 1 falling back to a private group) runs the exact
+// same proposal rounds inline, so the result is bit-identical at every
+// worker count.
+func MatchPar(g *graph.Graph, a *partition.Assignment, group *par.Group, procs int) []graph.Vertex {
 	n := g.Order()
 	match := make([]graph.Vertex, n)
 	for v := range match {
 		match[v] = graph.Vertex(v)
 	}
-	// Visit vertices in increasing-degree order (classic HEM heuristic).
-	order := g.Vertices()
-	sort.Slice(order, func(i, j int) bool {
-		di, dj := g.Degree(order[i]), g.Degree(order[j])
-		if di != dj {
-			return di < dj
-		}
-		return order[i] < order[j]
-	})
-	matched := make([]bool, n)
-	for _, v := range order {
-		if matched[v] {
-			continue
-		}
-		var best graph.Vertex = -1
-		var bestW float64
-		ws := g.EdgeWeights(v)
-		for i, u := range g.Neighbors(v) {
-			if matched[u] || a.Part[u] != a.Part[v] {
-				continue
-			}
-			if ws[i] > bestW || (ws[i] == bestW && (best < 0 || u < best)) {
-				best, bestW = u, ws[i]
-			}
-		}
-		if best >= 0 {
-			match[v], match[best] = best, v
-			matched[v], matched[best] = true, true
-		}
+	m := matcher{group: group, procs: procs}
+	free := g.Vertices()
+	m.run(g, a.Part, free)
+	for _, v := range free {
+		match[v] = m.mate[v]
 	}
 	return match
 }

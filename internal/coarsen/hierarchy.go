@@ -26,11 +26,15 @@ package coarsen
 // the fine polish moves individual vertices — are dissolved by the next
 // Update's purity sweep.
 //
-// Determinism: every hierarchy operation is sequential and iterates in
-// ascending vertex order (or an explicitly sorted order); no map
-// iteration reaches a graph mutation or a float accumulation. The
-// V-cycle therefore produces bit-identical assignments at every engine
-// worker count.
+// Determinism: every hierarchy operation either iterates sequentially
+// in ascending vertex order (or an explicitly sorted order) or shards
+// over the worker group under the engine's standard discipline —
+// contiguous shards that are pure functions of the input, per-worker
+// buffers merged in shard order, atomic claims deciding membership
+// only, and total-order sorts erasing scheduling (see parallel.go). No
+// map iteration reaches a graph mutation or a float accumulation, and
+// Procs <= 1 runs the identical kernels inline. The V-cycle therefore
+// produces bit-identical assignments at every engine worker count.
 
 import (
 	"context"
@@ -42,6 +46,7 @@ import (
 	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/lp"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/spectral"
 )
@@ -61,6 +66,15 @@ type HierarchyOptions struct {
 	// EpsilonMax bounds the ε escalation of the coarsest weighted
 	// balance LP (0 = 8), mirroring the engine's stage ladder.
 	EpsilonMax float64
+	// Group is the fork-join group the sharded hierarchy kernels run on
+	// (nil = a hierarchy-private group). The engine passes its own group
+	// so V-cycle busy time rolls into Stats.WorkerBusy.
+	Group *par.Group
+	// Procs is the worker count for the sharded kernels; <= 1 runs the
+	// exact sequential path. Results are bit-identical at every value —
+	// parallelism is purely a latency property, matching the engine
+	// contract.
+	Procs int
 }
 
 func (o HierarchyOptions) coarsenTo(p int) int {
@@ -148,12 +162,21 @@ type Hierarchy struct {
 	orderBuf  []graph.Vertex
 	repsBuf   []graph.Vertex
 	cvsBuf    []graph.Vertex
-	pairBuf   []cwPair
 	changeBuf []graph.Vertex
 	connBuf   []float64
 	wBuf      []float64
 	targBuf   []int
 	heapBuf   []moveEntry
+
+	// Parallel scratch (parallel.go): the shared matcher, the shard
+	// table, per-worker sweep arenas and the reusable task frames.
+	mt        matcher
+	shards    []par.Range
+	sweeps    []sweepWorker
+	cum       []int32
+	seedMarks par.Stamps
+	swTask    sweepTask
+	cgTask    connectTask
 }
 
 type cwPair struct {
@@ -169,7 +192,10 @@ const stallNum, stallDen = 19, 20
 // NewHierarchy returns an empty hierarchy bound to g. The first Update
 // builds the level stack.
 func NewHierarchy(g *graph.Graph, opt HierarchyOptions) *Hierarchy {
-	return &Hierarchy{g: g, opt: opt}
+	h := &Hierarchy{g: g, opt: opt}
+	h.mt.group = opt.Group
+	h.mt.procs = opt.Procs
+	return h
 }
 
 // Depth returns the number of coarse levels.
@@ -329,36 +355,23 @@ func (h *Hierarchy) repair(l int, lv *level, fg *graph.Graph, fa *partition.Assi
 	}
 	// 2. Purity: dissolve pairs whose members' partitions diverged since
 	// the last update (the fine polish moves vertices one by one).
-	n := fg.Order()
-	for v := 0; v < n; v++ {
-		vv := graph.Vertex(v)
-		if !fg.Alive(vv) || lv.f2c[v] < 0 {
-			continue
-		}
-		if u := lv.match[v]; u != vv && fa.Part[u] != fa.Part[v] {
-			dissolved += h.dissolve(lv, vv)
-		}
+	// Detection is a sharded pure-predicate sweep over frozen state; the
+	// merged list is in ascending slot order and the dissolves replay
+	// sequentially. A pair is detected at both members and the second
+	// dissolve is a no-op, exactly like the sequential scan's skip of the
+	// already-unmapped partner.
+	for _, v := range h.collectImpure(lv, fg, fa) {
+		dissolved += h.dissolve(lv, v)
 	}
 	// 3. Collect the freed vertices and project the fine assignment up
-	// through the surviving (pure) groups.
-	free := h.freeBuf[:0]
-	for v := 0; v < n; v++ {
-		vv := graph.Vertex(v)
-		if !fg.Alive(vv) {
-			continue
-		}
-		if cv := lv.f2c[v]; cv >= 0 {
-			lv.ca.Part[cv] = fa.Part[v]
-		} else {
-			free = append(free, vv)
-		}
-	}
+	// through the surviving (pure) groups (sharded; the coarse write is
+	// owned by each group's smallest member).
+	free := h.collectFree(lv, fg, fa)
 	// 4. Re-match the freed vertices among themselves (same-partition
 	// HEM) and wire the new groups into the coarse graph; the recorders
 	// log the insertions into waveCur, which is exactly the touched set
 	// level l+1's repair consumes.
 	matched := h.rematch(l, lv, fg, fa, free)
-	h.freeBuf = free[:0]
 	st.Dissolved = dissolved
 	st.Matched = matched
 	lv.consumed = fg.Epoch()
@@ -399,42 +412,26 @@ func (h *Hierarchy) dissolve(lv *level, v graph.Vertex) int {
 	return 1
 }
 
-// rematch heavy-edge-matches the freed vertices among themselves
-// (deterministically: degree-ascending order, id tiebreaks) and creates
-// the new coarse vertices and their aggregated adjacency. It returns the
-// number of groups formed.
+// rematch heavy-edge-matches the freed vertices among themselves with
+// the deterministic mutual-proposal matcher (parallel.go) and creates
+// the new coarse vertices and their aggregated adjacency, one group per
+// matched pair or leftover singleton, representatives in ascending slot
+// order. It returns the number of groups formed.
 func (h *Hierarchy) rematch(l int, lv *level, fg *graph.Graph, fa *partition.Assignment, free []graph.Vertex) int {
 	if len(free) == 0 {
 		return 0
 	}
-	order := append(h.orderBuf[:0], free...)
-	sort.Slice(order, func(i, j int) bool {
-		di, dj := fg.Degree(order[i]), fg.Degree(order[j])
-		if di != dj {
-			return di < dj
-		}
-		return order[i] < order[j]
-	})
+	h.mt.run(fg, fa.Part, free)
 	reps := h.repsBuf[:0]
 	cvs := h.cvsBuf[:0]
-	for _, v := range order {
+	for _, v := range free {
 		if lv.f2c[v] >= 0 {
 			continue // grouped as an earlier vertex's partner
 		}
-		var best graph.Vertex = -1
-		var bestW float64
-		ws := fg.EdgeWeights(v)
-		for i, u := range fg.Neighbors(v) {
-			if lv.f2c[u] >= 0 || fa.Part[u] != fa.Part[v] {
-				continue
-			}
-			if ws[i] > bestW || (ws[i] == bestW && (best < 0 || u < best)) {
-				best, bestW = u, ws[i]
-			}
-		}
+		u := h.mt.mate[v]
 		w := h.levelWeight(l, v)
-		if best >= 0 {
-			w += h.levelWeight(l, best)
+		if u != v {
+			w += h.levelWeight(l, u)
 		}
 		cv := lv.gc.AddVertex(w)
 		if h.recordWave {
@@ -443,9 +440,9 @@ func (h *Hierarchy) rematch(l int, lv *level, fg *graph.Graph, fa *partition.Ass
 		lv.ca.Grow(lv.gc.Order())
 		lv.ca.Part[cv] = fa.Part[v]
 		lv.f2c[v] = cv
-		if best >= 0 {
-			lv.f2c[best] = cv
-			lv.match[v], lv.match[best] = best, v
+		if u != v {
+			lv.f2c[u] = cv
+			lv.match[v], lv.match[u] = u, v
 		} else {
 			lv.match[v] = v
 		}
@@ -453,15 +450,25 @@ func (h *Hierarchy) rematch(l int, lv *level, fg *graph.Graph, fa *partition.Ass
 		cvs = append(cvs, cv)
 	}
 	h.connectGroups(fg, lv, reps, cvs)
-	h.orderBuf = order[:0]
 	h.repsBuf, h.cvsBuf = reps[:0], cvs[:0]
 	return len(cvs)
 }
 
-// build (re)coarsens one whole level from scratch.
+// build (re)coarsens one whole level from scratch, running the same
+// mutual-proposal matcher as the repair path over all live vertices.
 func (h *Hierarchy) build(l int, fg *graph.Graph, fa *partition.Assignment, st *LevelStats) *level {
-	match := Match(fg, fa)
 	n := fg.Order()
+	free := h.freeBuf[:0]
+	for v := 0; v < n; v++ {
+		if fg.Alive(graph.Vertex(v)) {
+			free = append(free, graph.Vertex(v))
+		}
+	}
+	h.mt.run(fg, fa.Part, free)
+	match := make([]graph.Vertex, n)
+	for i := range match {
+		match[i] = graph.Vertex(i)
+	}
 	f2c := make([]graph.Vertex, n)
 	for i := range f2c {
 		f2c[i] = -1
@@ -471,12 +478,12 @@ func (h *Hierarchy) build(l int, fg *graph.Graph, fa *partition.Assignment, st *
 	lv := &level{gc: gc, ca: ca, match: match, f2c: f2c}
 	reps := h.repsBuf[:0]
 	cvs := h.cvsBuf[:0]
-	for v := 0; v < n; v++ {
-		vv := graph.Vertex(v)
-		if !fg.Alive(vv) || f2c[v] >= 0 {
-			continue
+	for _, vv := range free {
+		v := int(vv)
+		if f2c[v] >= 0 {
+			continue // grouped as an earlier vertex's partner
 		}
-		u := match[v]
+		u := h.mt.mate[v]
 		w := h.levelWeight(l, vv)
 		if u != vv {
 			w += h.levelWeight(l, u)
@@ -485,12 +492,14 @@ func (h *Hierarchy) build(l int, fg *graph.Graph, fa *partition.Assignment, st *
 		f2c[v] = cv
 		if u != vv {
 			f2c[u] = cv
+			match[v], match[u] = u, vv
 		}
 		ca.Part = append(ca.Part, fa.Part[v])
 		reps = append(reps, vv)
 		cvs = append(cvs, cv)
 	}
 	h.connectGroups(fg, lv, reps, cvs)
+	h.freeBuf = free[:0]
 	h.repsBuf, h.cvsBuf = reps[:0], cvs[:0]
 	lv.consumed = fg.Epoch()
 	st.Rebuilt = true
@@ -499,47 +508,55 @@ func (h *Hierarchy) build(l int, fg *graph.Graph, fa *partition.Assignment, st *
 }
 
 // connectGroups inserts the aggregated coarse adjacency of newly created
-// coarse vertices cvs (reps[i] is one fine member of cvs[i]). Each
-// group's neighbor list is aggregated into a sorted run — never via map
-// iteration — so coarse adjacency order is deterministic; edges between
-// two new groups are attempted from both sides with identical aggregate
+// coarse vertices cvs (reps[i] is the smallest fine member of cvs[i]).
+// Each group's neighbor list is aggregated into a sorted run — never via
+// map iteration — so coarse adjacency order is deterministic. The
+// aggregation is per-group independent, so it shards over the group
+// list by arc weight with worker-private buffers; the insertions then
+// replay sequentially in ascending group order, producing the identical
+// coarse graph and wave log at every worker count. Edges between two
+// new groups are attempted from both sides with identical aggregate
 // weight, and AddEdgeIfAbsent keeps the first.
 func (h *Hierarchy) connectGroups(fg *graph.Graph, lv *level, reps, cvs []graph.Vertex) {
-	for i, cv := range cvs {
-		pairs := h.pairBuf[:0]
-		v := reps[i]
-		members := [2]graph.Vertex{v, lv.match[v]}
-		cnt := 1
-		if members[1] != v {
-			cnt = 2
+	if len(cvs) == 0 {
+		return
+	}
+	cum := append(h.cum[:0], 0)
+	t := int32(0)
+	for _, v := range reps {
+		d := fg.Degree(v)
+		if u := lv.match[v]; u != v {
+			d += fg.Degree(u)
 		}
-		for _, m := range members[:cnt] {
-			ws := fg.EdgeWeights(m)
-			for j, nb := range fg.Neighbors(m) {
-				cw := lv.f2c[nb]
-				if cw == cv || cw < 0 {
-					continue
+		t += int32(d) + 1
+		cum = append(cum, t)
+	}
+	h.cum = cum
+	w := 1
+	if h.opt.Procs > 1 && int(t) >= parConnectArcMin {
+		w = h.opt.Procs
+	}
+	h.shards = par.SplitByWeight(h.shards[:0], cum, w)
+	growSweeps(&h.sweeps, len(h.shards))
+	h.cgTask = connectTask{h: h, fg: fg, lv: lv, reps: reps}
+	h.group().Run(len(h.shards), &h.cgTask)
+	h.cgTask = connectTask{}
+	for wk := range h.shards {
+		ws := &h.sweeps[wk]
+		lo := int32(0)
+		for k, hi := range ws.runs {
+			cv := cvs[h.shards[wk].Lo+k]
+			for _, pr := range ws.pairs[lo:hi] {
+				lv.gc.AddEdgeIfAbsent(cv, pr.cw, pr.w)
+				if h.recordWave {
+					// An edge insertion touches both endpoints; cv itself
+					// was already recorded at AddVertex.
+					h.waveCur = append(h.waveCur, pr.cw)
 				}
-				pairs = append(pairs, cwPair{cw, ws[j]})
 			}
+			lo = hi
 		}
-		sort.Slice(pairs, func(x, y int) bool { return pairs[x].cw < pairs[y].cw })
-		for j := 0; j < len(pairs); {
-			k := j + 1
-			w := pairs[j].w
-			for k < len(pairs) && pairs[k].cw == pairs[j].cw {
-				w += pairs[k].w
-				k++
-			}
-			lv.gc.AddEdgeIfAbsent(cv, pairs[j].cw, w)
-			if h.recordWave {
-				// An edge insertion touches both endpoints; cv itself was
-				// already recorded at AddVertex.
-				h.waveCur = append(h.waveCur, pairs[j].cw)
-			}
-			j = k
-		}
-		h.pairBuf = pairs[:0]
+		ws.pairs, ws.runs = ws.pairs[:0], ws.runs[:0]
 	}
 }
 
@@ -578,7 +595,7 @@ func (h *Hierarchy) SolveCoarsest(ctx context.Context, solver lp.Solver) (moved 
 		moved, err = CoarseBalance(ctx, gc, ca, h.fineTargets(), solver, h.opt.epsMax())
 		return moved, false, err
 	}
-	part, rerr := spectral.RSB(gc, h.p, spectral.Options{Seed: h.opt.Seed})
+	part, rerr := spectral.RSB(gc, h.p, spectral.Options{Seed: h.opt.Seed, Group: h.opt.Group, Procs: h.opt.Procs})
 	if rerr != nil {
 		// Spectral failure (e.g. adversarially disconnected coarse
 		// graphs): fall back to a deterministic greedy weight packing.
@@ -646,17 +663,10 @@ func (h *Hierarchy) Uncoarsen(ctx context.Context, a *partition.Assignment) (int
 		fg := h.levelGraph(l)
 		fa := h.levelAssign(l, a)
 		lv := h.levels[l]
-		changed := h.changeBuf[:0]
-		for v := 0; v < fg.Order(); v++ {
-			vv := graph.Vertex(v)
-			if !fg.Alive(vv) || lv.f2c[v] < 0 {
-				continue
-			}
-			if np := lv.ca.Part[lv.f2c[v]]; fa.Part[v] != np {
-				fa.Part[v] = np
-				changed = append(changed, vv)
-			}
-		}
+		// Downward projection is a sharded slot-owned sweep: each worker
+		// writes only its own shard's fine slots, and the merged changed
+		// list is in ascending slot order (parallel.go).
+		changed := h.projectDown(lv, fg, fa)
 		moved := h.refineLevel(l, fg, fa, changed)
 		h.changeBuf = changed[:0]
 		total += moved
@@ -728,38 +738,17 @@ func (h *Hierarchy) heapPop() moveEntry {
 // seeded from the projection-changed vertices and their neighbors,
 // applying strictly positive-gain moves under a weight guard (every
 // partition stays within one max-cluster weight of its level-0 target).
-// Entirely sequential and totally ordered, so results are identical at
-// every engine worker count; each applied move strictly decreases the
-// cut, so the loop terminates (a generous budget guards float
-// pathologies).
+// The weight and seed-gain scans shard over the worker group with
+// deterministic merges (parallel.go); the move loop itself stays
+// sequential and totally ordered, so results are identical at every
+// engine worker count. Each applied move strictly decreases the cut, so
+// the loop terminates (a generous budget guards float pathologies).
 func (h *Hierarchy) refineLevel(l int, fg *graph.Graph, fa *partition.Assignment, changed []graph.Vertex) int {
 	if len(changed) == 0 {
 		return 0
 	}
 	p := h.p
-	if cap(h.wBuf) < p {
-		h.wBuf = make([]float64, p)
-	}
-	weights := h.wBuf[:p]
-	for q := range weights {
-		weights[q] = 0
-	}
-	slack := 0.0
-	total := 0.0
-	for v := 0; v < fg.Order(); v++ {
-		vv := graph.Vertex(v)
-		if !fg.Alive(vv) {
-			continue
-		}
-		w := h.levelWeight(l, vv)
-		total += w
-		if q := fa.Part[v]; q >= 0 {
-			weights[q] += w
-		}
-		if w > slack {
-			slack = w
-		}
-	}
+	weights, total, slack := h.levelWeights(l, fg, fa)
 	// Slack grants cluster-granularity freedom, but capped: at deep
 	// levels a single cluster can hold a large share of the graph, and a
 	// guard of ±maxClusterWeight would let one gain-positive mega-cluster
@@ -775,21 +764,11 @@ func (h *Hierarchy) refineLevel(l int, fg *graph.Graph, fa *partition.Assignment
 	}
 	h.heapBuf = h.heapBuf[:0]
 	// Seed from the changed vertices and their neighborhoods, in
-	// ascending order for a deterministic initial heap.
-	seeds := h.orderBuf[:0]
-	seeds = append(seeds, changed...)
-	for _, v := range changed {
-		seeds = append(seeds, fg.Neighbors(v)...)
-	}
-	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
-	var prev graph.Vertex = -1
-	for _, v := range seeds {
-		if v == prev {
-			continue
-		}
-		prev = v
-		h.pushMoves(fg, fa, v)
-	}
+	// ascending deduplicated order, and scan each seed's moves with
+	// per-worker entry buffers replayed in shard order — the heap
+	// receives the exact push sequence of the sequential scan.
+	seeds := h.collectSeeds(fg, changed)
+	h.scanSeeds(fg, fa, seeds)
 	h.orderBuf = seeds[:0]
 
 	moved := 0

@@ -107,6 +107,98 @@ func FuzzParallelEquivalence(f *testing.F) {
 	})
 }
 
+// FuzzVCycleParallelEquivalence is the multilevel parallel-equivalence
+// fuzz: the same edit history — growth edits plus deterministic
+// partition drift that forces hierarchy purity repairs — drives a
+// sequential (procs=1) and a parallel V-cycle engine, and every full
+// multilevel Repartition must agree bit for bit: the assignment, the
+// hierarchy-repaired flag and the level count. procs=1 is the exact
+// sequential path; workers are drawn from {2,3,7,16}.
+func FuzzVCycleParallelEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(0))
+	f.Add(int64(42), uint8(30), uint8(1))
+	f.Add(int64(7), uint8(22), uint8(2))
+	f.Add(int64(19), uint8(16), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, edits uint8, procs uint8) {
+		workers := []int{2, 3, 7, 16}[procs%4]
+		n := 60 + int(uint64(seed)%300)
+		p := 2 + int(uint64(seed)%4)
+		gSeq, aSeq := editableGraph(t, n, p, seed)
+		gPar := gSeq.Clone()
+		aPar := aSeq.Clone()
+		mk := func(g *graph.Graph, w int) *Engine {
+			return New(g, Options{
+				Refine:      true,
+				Parallelism: w,
+				Multilevel:  MultilevelOptions{Enabled: true, CoarsenTo: 8, Seed: seed},
+			})
+		}
+		eSeq := mk(gSeq, 1)
+		defer eSeq.Close()
+		ePar := mk(gPar, workers)
+		defer ePar.Close()
+		rngSeq := rand.New(rand.NewSource(seed ^ 0x5c7c1e))
+		rngPar := rand.New(rand.NewSource(seed ^ 0x5c7c1e))
+		check := func() {
+			stSeq, errS := eSeq.Repartition(context.Background(), aSeq)
+			stPar, errP := ePar.Repartition(context.Background(), aPar)
+			if (errS == nil) != (errP == nil) {
+				t.Fatalf("repartition error mismatch: %v vs %v (workers=%d)", errS, errP, workers)
+			}
+			if errS != nil && !errors.Is(errS, ErrNeedRepartition) {
+				t.Fatalf("multilevel Repartition: %v", errS)
+			}
+			if len(aSeq.Part) != len(aPar.Part) {
+				t.Fatalf("assignment lengths diverge: %d vs %d", len(aSeq.Part), len(aPar.Part))
+			}
+			for v := range aSeq.Part {
+				if aSeq.Part[v] != aPar.Part[v] {
+					t.Fatalf("assignment diverges at vertex %d: %d vs %d (workers=%d)",
+						v, aSeq.Part[v], aPar.Part[v], workers)
+				}
+			}
+			if errS == nil {
+				if stSeq.HierarchyRepaired != stPar.HierarchyRepaired {
+					t.Fatalf("HierarchyRepaired diverges: %v vs %v (workers=%d)",
+						stSeq.HierarchyRepaired, stPar.HierarchyRepaired, workers)
+				}
+				if len(stSeq.Levels) != len(stPar.Levels) {
+					t.Fatalf("level count diverges: %d vs %d (workers=%d)",
+						len(stSeq.Levels), len(stPar.Levels), workers)
+				}
+			}
+		}
+		check()
+		for i := 0; i < int(edits); i++ {
+			switch i % 3 {
+			case 0:
+				randomEdit(gSeq, aSeq, rngSeq)
+				randomEdit(gPar, aPar, rngPar)
+			case 1:
+				randomGrowthEdit(gSeq, aSeq, rngSeq)
+				randomGrowthEdit(gPar, aPar, rngPar)
+			default:
+				// Deterministic partition drift (applied identically to
+				// both) forces purity dissolves on the next hierarchy
+				// repair — the V-cycle path plain edits rarely reach.
+				for k := 0; k < 5; k++ {
+					v := graph.Vertex(rngSeq.Intn(gSeq.Order()))
+					_ = rngPar.Intn(gPar.Order()) // keep streams aligned
+					if gSeq.Alive(v) && aSeq.Part[v] >= 0 {
+						np := int32((int(aSeq.Part[v]) + 1) % aSeq.P)
+						aSeq.Part[v] = np
+						aPar.Part[v] = np
+					}
+				}
+			}
+			if i%5 == 4 {
+				check()
+			}
+		}
+		check()
+	})
+}
+
 // requireSameSnapshot compares a snapshot's logical content against a
 // fresh full rebuild: every row, weight, liveness flag and count must be
 // identical (slack layout is free to differ).

@@ -53,6 +53,11 @@ func (e *Engine) runMultilevel(ctx context.Context, a *partition.Assignment, st 
 			MaxLevels:  e.opt.Multilevel.MaxLevels,
 			Seed:       e.opt.Multilevel.Seed,
 			EpsilonMax: e.opt.epsMax(),
+			// The hierarchy's sharded kernels run on the engine's own
+			// worker group, so WithParallelism covers the V-cycle and its
+			// busy time rolls into Stats.WorkerBusy.
+			Group: &e.group,
+			Procs: e.procs,
 		})
 	}
 	tC := time.Now()
@@ -69,8 +74,9 @@ func (e *Engine) runMultilevel(ctx context.Context, a *partition.Assignment, st 
 	st.SpectralInit = spectralInit
 	st.CoarsenTime = time.Since(tC)
 	// Per-level spans are synthesized back-to-back after the work (the
-	// hierarchy is a sequential kernel; instrumenting it live would buy
-	// nothing), each carrying its measured share.
+	// hierarchy's sharded regions already report busy time through the
+	// engine group; live span instrumentation would buy nothing), each
+	// carrying its measured share.
 	for l, ls := range e.ml.Levels() {
 		e.emit(Event{Kind: EventStart, Phase: PhaseCoarsen, Stage: l + 1})
 		e.emit(Event{Kind: EventEnd, Phase: PhaseCoarsen, Stage: l + 1,

@@ -36,6 +36,16 @@ type CSR struct {
 	owner     *Graph
 	snapEpoch uint64
 	patchBuf  []Vertex
+
+	// Adaptive headroom bookkeeping (reset at every rebuild): the largest
+	// touched set a successful patch processed, whether a patch was ever
+	// abandoned because a row outgrew its slot, and whether the current
+	// layout was packed with lean headroom. The policy is a pure function
+	// of the snapshot's own refresh history, so identically edited graphs
+	// still produce identical layouts at every worker count.
+	patchPeak int
+	grewSlot  bool
+	lean      bool
 }
 
 // slackSentinel fills unused slot tails so snapshot memory stays
@@ -48,6 +58,30 @@ const slackSentinel Vertex = -1
 // the slot overflows and forces a compacting rebuild, small enough that
 // total slack stays a modest constant factor of the arc array.
 func csrPad(d int) int { return 2 + d/4 }
+
+// csrPadLean is the reduced headroom used at large orders when the
+// observed churn is low: the ~25–40% arc overhead of csrPad is pure tax
+// on cold traversals of paper-scale graphs, while a quiet refresh
+// history shows the slack is rarely consumed.
+func csrPadLean(d int) int { return 1 + d/8 }
+
+// csrLeanOrder is the order at and above which a rebuild considers the
+// lean layout; csrLeanChurnDiv scales the churn evidence (a snapshot
+// whose largest patch touched more than order/csrLeanChurnDiv rows keeps
+// the full headroom).
+const (
+	csrLeanOrder    = 1 << 17
+	csrLeanChurnDiv = 64
+)
+
+// pad returns the slot headroom for degree d under the snapshot's
+// current layout policy.
+func (c *CSR) pad(d int) int {
+	if c.lean {
+		return csrPadLean(d)
+	}
+	return csrPad(d)
+}
 
 // csrMaxChurn caps how many distinct journaled vertices a partial patch
 // will process for an order-n snapshot; beyond it a full rebuild is
@@ -113,8 +147,14 @@ func (g *Graph) RefreshCSR(c *CSR) (snapshot *CSR, patched bool) {
 			break // sorted: only new vertices follow
 		}
 		if int32(len(g.adj[v])) > c.XAdj[v+1]-c.XAdj[v] {
+			// A row outgrew its headroom: remember that before the
+			// compacting rebuild so the next layout keeps full pads.
+			c.grewSlot = true
 			return g.buildCSR(c), false
 		}
+	}
+	if len(touched) > c.patchPeak {
+		c.patchPeak = len(touched)
 	}
 	// Pass 2: rewrite touched rows in place.
 	for _, v := range touched {
@@ -158,7 +198,7 @@ func (c *CSR) appendSlot(g *Graph, v Vertex) {
 	c.EW = append(c.EW, g.ew[v]...)
 	c.End = append(c.End, int32(len(c.Adj)))
 	if g.alive[v] {
-		for pad := csrPad(len(g.adj[v])); pad > 0; pad-- {
+		for pad := c.pad(len(g.adj[v])); pad > 0; pad-- {
 			c.Adj = append(c.Adj, slackSentinel)
 			c.EW = append(c.EW, 0)
 		}
@@ -174,6 +214,11 @@ func (g *Graph) RebuildCSRInto(c *CSR) *CSR { return g.buildCSR(c) }
 
 // buildCSR is the full rebuild: every slot re-packed in vertex order
 // with fresh headroom (dead vertices get none — they can never grow).
+// The headroom policy is adaptive: at paper-scale orders a snapshot
+// whose refresh history shows low churn — no slot ever overflowed, the
+// largest patch touched a small fraction of the rows — is packed with
+// lean pads, reclaiming most of the slack tax on cold traversals; any
+// overflow or heavy churn since the last rebuild restores full pads.
 func (g *Graph) buildCSR(c *CSR) *CSR {
 	n := g.Order()
 	if c == nil {
@@ -186,6 +231,9 @@ func (g *Graph) buildCSR(c *CSR) *CSR {
 			Live: make([]bool, 0, n),
 		}
 	}
+	c.lean = n >= csrLeanOrder && !c.grewSlot && c.patchPeak*csrLeanChurnDiv <= n
+	c.patchPeak = 0
+	c.grewSlot = false
 	c.XAdj = c.XAdj[:0]
 	c.End = c.End[:0]
 	c.Adj = c.Adj[:0]

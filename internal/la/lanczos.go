@@ -31,6 +31,14 @@ type LanczosResult struct {
 //
 // The iteration stops early at an invariant subspace (beta ≈ 0).
 func Lanczos(op Operator, n, maxSteps int, start []float64, deflate [][]float64, rng *rand.Rand) (*LanczosResult, error) {
+	return LanczosPar(op, n, maxSteps, start, deflate, rng, nil)
+}
+
+// LanczosPar is Lanczos with its vector kernels sharded over ws (nil or
+// ws.Procs <= 1 runs the sequential kernels). The blocked reductions in
+// Workers make the result bit-identical at every worker count; the
+// operator is responsible for its own determinism.
+func LanczosPar(op Operator, n, maxSteps int, start []float64, deflate [][]float64, rng *rand.Rand, ws *Workers) (*LanczosResult, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("la: lanczos: n=%d", n)
 	}
@@ -55,9 +63,9 @@ func Lanczos(op Operator, n, maxSteps int, start []float64, deflate [][]float64,
 		}
 	}
 	for _, q := range deflate {
-		OrthogonalizeAgainst(v, q)
+		ws.OrthogonalizeAgainst(v, q)
 	}
-	if Normalize(v) == 0 {
+	if ws.Normalize(v) == 0 {
 		return nil, fmt.Errorf("la: lanczos: start vector lies in the deflated subspace")
 	}
 
@@ -67,23 +75,23 @@ func Lanczos(op Operator, n, maxSteps int, start []float64, deflate [][]float64,
 		vj := append([]float64(nil), v...)
 		res.V = append(res.V, vj)
 		op(vj, w)
-		alpha := Dot(vj, w)
+		alpha := ws.Dot(vj, w)
 		res.Alpha = append(res.Alpha, alpha)
 		// w <- w - alpha v_j - beta_{j-1} v_{j-1}; then full reorthogonalization.
-		Axpy(-alpha, vj, w)
+		ws.Axpy(-alpha, vj, w)
 		if j > 0 {
-			Axpy(-res.Beta[j-1], res.V[j-1], w)
+			ws.Axpy(-res.Beta[j-1], res.V[j-1], w)
 		}
 		for _, q := range deflate {
-			OrthogonalizeAgainst(w, q)
+			ws.OrthogonalizeAgainst(w, q)
 		}
 		// Two passes of modified Gram–Schmidt against the whole basis.
 		for pass := 0; pass < 2; pass++ {
 			for _, q := range res.V {
-				OrthogonalizeAgainst(w, q)
+				ws.OrthogonalizeAgainst(w, q)
 			}
 		}
-		beta := Norm2(w)
+		beta := ws.Norm2(w)
 		if j == maxSteps-1 {
 			break
 		}
@@ -92,7 +100,7 @@ func Lanczos(op Operator, n, maxSteps int, start []float64, deflate [][]float64,
 		}
 		res.Beta = append(res.Beta, beta)
 		copy(v, w)
-		Scale(1/beta, v)
+		ws.Scale(1/beta, v)
 	}
 	return res, nil
 }

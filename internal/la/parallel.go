@@ -1,0 +1,186 @@
+package la
+
+import (
+	"math"
+
+	"repro/internal/par"
+)
+
+// laParMin is the minimum vector length worth forking: below two blocks
+// there is at most one shard boundary and the fork overhead dominates.
+const laParMin = 2 * laBlock
+
+// Workers shards the reduction-heavy vector kernels over a fork-join
+// group. Dot and Norm2 assign whole laBlock-sized blocks to workers and
+// record per-block partials that the caller merges in ascending block
+// order — exactly the association the sequential kernels use — so every
+// worker count (including a nil *Workers or Procs <= 1, which run the
+// package-level kernels inline) produces bit-identical results. Axpy
+// and Scale are element-owned and trivially deterministic.
+//
+// A Workers is not safe for concurrent use; it is per-solve scratch.
+type Workers struct {
+	// Group is the fork-join group to run on (nil = a private group).
+	Group *par.Group
+	// Procs is the worker count; <= 1 runs the sequential kernels.
+	Procs int
+
+	own    par.Group
+	shards []par.Range
+	dotP   []float64
+	scaleP []float64
+	ssqP   []float64
+	task   vecTask
+}
+
+func (w *Workers) group() *par.Group {
+	if w.Group != nil {
+		return w.Group
+	}
+	return &w.own
+}
+
+// fork reports whether a kernel over n elements should shard. Safe on a
+// nil receiver (sequential fallback).
+func (w *Workers) fork(n int) bool {
+	return w != nil && w.Procs > 1 && n >= laParMin
+}
+
+func (w *Workers) growPartials(nb int) {
+	if cap(w.dotP) < nb {
+		w.dotP = make([]float64, nb)
+		w.scaleP = make([]float64, nb)
+		w.ssqP = make([]float64, nb)
+	}
+	w.dotP = w.dotP[:nb]
+	w.scaleP = w.scaleP[:nb]
+	w.ssqP = w.ssqP[:nb]
+}
+
+const (
+	opDot = iota
+	opNorm2
+	opAxpy
+	opScale
+)
+
+// vecTask is the reusable task frame for every sharded vector kernel.
+// For opDot/opNorm2 the shards cover block indices; for opAxpy/opScale
+// they cover element indices.
+type vecTask struct {
+	w  *Workers
+	op int
+	a  float64
+	x  []float64
+	y  []float64
+}
+
+func (t *vecTask) Do(wk int) {
+	w := t.w
+	r := w.shards[wk]
+	switch t.op {
+	case opDot:
+		for b := r.Lo; b < r.Hi; b++ {
+			lo := b * laBlock
+			w.dotP[b] = dotRange(t.x, t.y, lo, min(lo+laBlock, len(t.x)))
+		}
+	case opNorm2:
+		for b := r.Lo; b < r.Hi; b++ {
+			lo := b * laBlock
+			w.scaleP[b], w.ssqP[b] = norm2Range(t.x, lo, min(lo+laBlock, len(t.x)))
+		}
+	case opAxpy:
+		for i := r.Lo; i < r.Hi; i++ {
+			t.y[i] += t.a * t.x[i]
+		}
+	case opScale:
+		for i := r.Lo; i < r.Hi; i++ {
+			t.x[i] *= t.a
+		}
+	}
+}
+
+// Dot is the sharded Dot: per-block partials merged in ascending block
+// order, bit-identical to the sequential kernel.
+func (w *Workers) Dot(x, y []float64) float64 {
+	if !w.fork(len(x)) {
+		return Dot(x, y)
+	}
+	nb := (len(x) + laBlock - 1) / laBlock
+	w.shards = par.Split(w.shards[:0], nb, w.Procs)
+	w.growPartials(nb)
+	w.task = vecTask{w: w, op: opDot, x: x, y: y}
+	w.group().Run(len(w.shards), &w.task)
+	w.task = vecTask{}
+	var s float64
+	for _, p := range w.dotP {
+		s += p
+	}
+	return s
+}
+
+// Norm2 is the sharded Norm2: per-block (scale, ssq) partials joined in
+// ascending block order, bit-identical to the sequential kernel.
+func (w *Workers) Norm2(x []float64) float64 {
+	if !w.fork(len(x)) {
+		return Norm2(x)
+	}
+	nb := (len(x) + laBlock - 1) / laBlock
+	w.shards = par.Split(w.shards[:0], nb, w.Procs)
+	w.growPartials(nb)
+	w.task = vecTask{w: w, op: opNorm2, x: x}
+	w.group().Run(len(w.shards), &w.task)
+	w.task = vecTask{}
+	var scale, ssq float64 = 0, 1
+	for b := 0; b < nb; b++ {
+		scale, ssq = norm2Join(scale, ssq, w.scaleP[b], w.ssqP[b])
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Axpy is the sharded y += a*x; each element is owned by one worker.
+func (w *Workers) Axpy(a float64, x, y []float64) {
+	if !w.fork(len(x)) {
+		Axpy(a, x, y)
+		return
+	}
+	w.shards = par.Split(w.shards[:0], len(x), w.Procs)
+	w.task = vecTask{w: w, op: opAxpy, a: a, x: x, y: y}
+	w.group().Run(len(w.shards), &w.task)
+	w.task = vecTask{}
+}
+
+// Scale is the sharded x *= a; each element is owned by one worker.
+func (w *Workers) Scale(a float64, x []float64) {
+	if !w.fork(len(x)) {
+		Scale(a, x)
+		return
+	}
+	w.shards = par.Split(w.shards[:0], len(x), w.Procs)
+	w.task = vecTask{w: w, op: opScale, a: a, x: x}
+	w.group().Run(len(w.shards), &w.task)
+	w.task = vecTask{}
+}
+
+// Normalize is the sharded Normalize, composed from the sharded Norm2
+// and Scale so it matches the sequential kernel bitwise.
+func (w *Workers) Normalize(x []float64) float64 {
+	if !w.fork(len(x)) {
+		return Normalize(x)
+	}
+	n := w.Norm2(x)
+	if n > 0 {
+		w.Scale(1/n, x)
+	}
+	return n
+}
+
+// OrthogonalizeAgainst is the sharded modified Gram–Schmidt step
+// x -= (q·x) q.
+func (w *Workers) OrthogonalizeAgainst(x, q []float64) {
+	if !w.fork(len(x)) {
+		OrthogonalizeAgainst(x, q)
+		return
+	}
+	w.Axpy(-w.Dot(q, x), q, x)
+}

@@ -1,0 +1,127 @@
+package la
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestWorkersBitwiseEquivalence(t *testing.T) {
+	// The sharded kernels must reproduce the sequential ones bit for bit:
+	// the block partials fold in the same canonical order regardless of
+	// which worker computed them.
+	const n = 20000
+	x := randVec(n, 1)
+	y := randVec(n, 2)
+	wantDot := Dot(x, y)
+	wantNorm := Norm2(x)
+	for _, procs := range []int{2, 3, 7} {
+		ws := &Workers{Procs: procs}
+		if got := ws.Dot(x, y); got != wantDot {
+			t.Fatalf("procs %d: Dot %v != %v", procs, got, wantDot)
+		}
+		if got := ws.Norm2(x); got != wantNorm {
+			t.Fatalf("procs %d: Norm2 %v != %v", procs, got, wantNorm)
+		}
+		ySeq := append([]float64(nil), y...)
+		yPar := append([]float64(nil), y...)
+		Axpy(0.37, x, ySeq)
+		ws.Axpy(0.37, x, yPar)
+		for i := range ySeq {
+			if ySeq[i] != yPar[i] {
+				t.Fatalf("procs %d: Axpy differs at %d", procs, i)
+			}
+		}
+		xSeq := append([]float64(nil), x...)
+		xPar := append([]float64(nil), x...)
+		nSeq := Normalize(xSeq)
+		nPar := ws.Normalize(xPar)
+		if nSeq != nPar {
+			t.Fatalf("procs %d: Normalize norm %v != %v", procs, nPar, nSeq)
+		}
+		for i := range xSeq {
+			if xSeq[i] != xPar[i] {
+				t.Fatalf("procs %d: Normalize differs at %d", procs, i)
+			}
+		}
+	}
+}
+
+func TestWorkersSmallVectorsInline(t *testing.T) {
+	// Below the fork gate the Workers methods must be the sequential
+	// kernels verbatim (the coarsest V-cycle graphs take this path).
+	x := randVec(100, 3)
+	y := randVec(100, 4)
+	ws := &Workers{Procs: 8}
+	if got, want := ws.Dot(x, y), Dot(x, y); got != want {
+		t.Fatalf("Dot %v != %v", got, want)
+	}
+	if got, want := ws.Norm2(x), Norm2(x); got != want {
+		t.Fatalf("Norm2 %v != %v", got, want)
+	}
+}
+
+func TestLanczosParBitwise(t *testing.T) {
+	// The full Lanczos iteration — matvecs plus reorthogonalization —
+	// must be bit-identical with sharded vector kernels.
+	const n = 9000
+	op := func(x, y []float64) {
+		// Path Laplacian: y[i] = deg*x[i] - neighbors.
+		for i := 0; i < n; i++ {
+			d, acc := 0.0, 0.0
+			if i > 0 {
+				d++
+				acc += x[i-1]
+			}
+			if i < n-1 {
+				d++
+				acc += x[i+1]
+			}
+			y[i] = d*x[i] - acc
+		}
+	}
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	Normalize(ones)
+	start := randVec(n, 5)
+	seq, err := Lanczos(op, n, 40, start, [][]float64{ones}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{2, 3, 7} {
+		par, err := LanczosPar(op, n, 40, start, [][]float64{ones}, nil, &Workers{Procs: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par.Alpha) != len(seq.Alpha) || len(par.Beta) != len(seq.Beta) {
+			t.Fatalf("procs %d: factorization sizes differ", procs)
+		}
+		for j := range seq.Alpha {
+			if par.Alpha[j] != seq.Alpha[j] {
+				t.Fatalf("procs %d: alpha[%d] %v != %v", procs, j, par.Alpha[j], seq.Alpha[j])
+			}
+		}
+		for j := range seq.Beta {
+			if par.Beta[j] != seq.Beta[j] {
+				t.Fatalf("procs %d: beta[%d] %v != %v", procs, j, par.Beta[j], seq.Beta[j])
+			}
+		}
+		for j := range seq.V {
+			for i := range seq.V[j] {
+				if par.V[j][i] != seq.V[j][i] {
+					t.Fatalf("procs %d: V[%d][%d] differs", procs, j, i)
+				}
+			}
+		}
+	}
+}

@@ -10,12 +10,29 @@ package la
 
 import "math"
 
+// laBlock is the fixed reduction block: Dot and Norm2 fold per-block
+// partials in ascending block order, so a parallel reduction that
+// assigns whole blocks to workers (parallel.go) produces bit-identical
+// sums at every worker count. Vectors no longer than one block reduce
+// exactly as a straight loop.
+const laBlock = 4096
+
 // Dot returns the inner product of x and y. The slices must have equal
-// length.
+// length. The sum folds fixed laBlock-sized partials in ascending order
+// — the canonical association every worker count reproduces.
 func Dot(x, y []float64) float64 {
 	var s float64
-	for i, v := range x {
-		s += v * y[i]
+	for lo := 0; lo < len(x); lo += laBlock {
+		s += dotRange(x, y, lo, min(lo+laBlock, len(x)))
+	}
+	return s
+}
+
+// dotRange is the per-block partial of Dot over [lo, hi).
+func dotRange(x, y []float64, lo, hi int) float64 {
+	var s float64
+	for i := lo; i < hi; i++ {
+		s += x[i] * y[i]
 	}
 	return s
 }
@@ -35,10 +52,24 @@ func Scale(a float64, x []float64) {
 }
 
 // Norm2 returns the Euclidean norm of x, guarding against overflow for
-// large components.
+// large components. Like Dot, it folds per-block (scale, ssq) partials
+// in ascending block order via norm2Join, so parallel block reductions
+// match bitwise.
 func Norm2(x []float64) float64 {
 	var scale, ssq float64 = 0, 1
-	for _, v := range x {
+	for lo := 0; lo < len(x); lo += laBlock {
+		s, q := norm2Range(x, lo, min(lo+laBlock, len(x)))
+		scale, ssq = norm2Join(scale, ssq, s, q)
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// norm2Range runs the classic overflow-guarded (scale, ssq) recurrence
+// over x[lo:hi], starting from the identity (0, 1).
+func norm2Range(x []float64, lo, hi int) (scale, ssq float64) {
+	scale, ssq = 0, 1
+	for i := lo; i < hi; i++ {
+		v := x[i]
 		if v == 0 {
 			continue
 		}
@@ -52,7 +83,23 @@ func Norm2(x []float64) float64 {
 			ssq += r * r
 		}
 	}
-	return scale * math.Sqrt(ssq)
+	return scale, ssq
+}
+
+// norm2Join merges two (scale, ssq) partials. The identity is (0, 1).
+func norm2Join(s1, q1, s2, q2 float64) (float64, float64) {
+	if s2 == 0 {
+		return s1, q1
+	}
+	if s1 == 0 {
+		return s2, q2
+	}
+	if s1 >= s2 {
+		r := s2 / s1
+		return s1, q1 + q2*r*r
+	}
+	r := s1 / s2
+	return s2, q2 + q1*r*r
 }
 
 // Normalize scales x to unit Euclidean norm and returns the original norm.

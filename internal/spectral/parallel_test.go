@@ -1,0 +1,30 @@
+package spectral
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRSBParallelEquivalence(t *testing.T) {
+	// A full recursive spectral bisection over the fork gate
+	// (80*80 = 6400 > spectralParMin) must produce identical labels at
+	// every worker count: the sharded Laplacian matvec is row-owned and
+	// the Lanczos reductions fold fixed blocks canonically.
+	g := graph.Grid(80, 80)
+	want, err := RSB(g, 4, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{2, 4, 7} {
+		got, err := RSB(g, 4, Options{Seed: 7, Procs: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("procs %d: label[%d] = %d, want %d", procs, v, got[v], want[v])
+			}
+		}
+	}
+}

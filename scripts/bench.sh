@@ -143,20 +143,37 @@ else
 fi
 
 # Large-graph multilevel tier: V-cycle cold/settle/warm rows on the
-# paper-scale grid and power-law workloads at P=8. Full mode runs
-# n = 10⁵ with the flat RSB from-scratch baseline on the grid — the
-# evidence that the V-cycle beats flat at n ≥ 10⁵ and that a warm
-# repaired Repartition costs milliseconds. Smoke mode shrinks n and
-# drops the flat baseline (minutes of wall clock) but keeps -check, so
-# the tier's hard contract still gates CI.
+# paper-scale grid and power-law workloads at P=8, repeated at worker
+# counts 1 and 8 (-procslist) so the artifact records the V-cycle
+# scaling curve — the rows are bit-identical across counts, only the
+# wall clock moves. Full mode runs n = 10⁵ with the flat RSB
+# from-scratch baseline on the grid — the evidence that the V-cycle
+# beats flat at n ≥ 10⁵ and that a warm repaired Repartition costs
+# milliseconds. Smoke mode shrinks n and drops the flat baseline
+# (minutes of wall clock) but keeps -check, so the tier's hard contract
+# still gates CI.
 if [ "${BENCH_SMOKE:-0}" = "1" ]; then
     echo "== multilevel tier (igpbench -table multilevel -check, smoke n=20000) =="
-    ml="$(go run ./cmd/igpbench -table multilevel -check -n 20000 -p 8 -json)"
+    ml="$(go run ./cmd/igpbench -table multilevel -check -n 20000 -p 8 -procslist 1,8 -json)"
 else
     echo "== multilevel tier (igpbench -table multilevel, n=100000) =="
-    ml="$(go run ./cmd/igpbench -table multilevel -n 100000 -p 8 -json)"
+    ml="$(go run ./cmd/igpbench -table multilevel -n 100000 -p 8 -procslist 1,8 -json)"
 fi
 echo "$ml"
+
+# Million-vertex tier: the paper-scale n ≈ 10⁶ workloads at worker
+# counts 1 and 8, in -check mode (the flat RSB baseline at 10⁶ is
+# hours, not minutes — the 10⁵ row above anchors the flat comparison).
+# Full mode only: several minutes of wall clock, far too slow for the
+# per-PR smoke lane.
+if [ "${BENCH_SMOKE:-0}" = "1" ]; then
+    echo "== multilevel 10^6 tier: skipped (BENCH_SMOKE=1) =="
+    ml1m="null"
+else
+    echo "== multilevel 10^6 tier (igpbench -table multilevel -check, n=1000000) =="
+    ml1m="$(go run ./cmd/igpbench -table multilevel -check -n 1000000 -p 8 -procslist 1,8 -json)"
+fi
+echo "$ml1m"
 
 echo "== benchmarks ($filter) =="
 raw="$(mktemp)"
@@ -165,7 +182,7 @@ go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" . | tee "$r
 
 # Parse `BenchmarkName  N  X ns/op  Y B/op  Z allocs/op` lines into JSON,
 # folding in the per-phase timing record and the per-solver/per-procs rows.
-awk -v idx="$idx" -v phases="$phases" -v solvers="$solver_rows" -v procs="$procs_rows" -v cmp="$solver_cmp" -v incr="$incr" -v serve="$serve_rows" -v ml="$ml" '
+awk -v idx="$idx" -v phases="$phases" -v solvers="$solver_rows" -v procs="$procs_rows" -v cmp="$solver_cmp" -v incr="$incr" -v serve="$serve_rows" -v ml="$ml" -v ml1m="$ml1m" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -182,7 +199,7 @@ BEGIN { n = 0 }
 END {
     if (serve == "") serve_json = "[]"
     else             serve_json = sprintf("[\n    %s\n  ]", serve)
-    printf "{\n  \"trajectory\": %s,\n  \"phase_timings\": %s,\n  \"phase_timings_by_solver\": [\n    %s\n  ],\n  \"phase_timings_by_procs\": [\n    %s\n  ],\n  \"solver_comparison\": %s,\n  \"incremental_edits\": %s,\n  \"serve_latency\": %s,\n  \"multilevel\": %s,\n  \"benchmarks\": [\n", idx, phases, solvers, procs, cmp, incr, serve_json, ml
+    printf "{\n  \"trajectory\": %s,\n  \"phase_timings\": %s,\n  \"phase_timings_by_solver\": [\n    %s\n  ],\n  \"phase_timings_by_procs\": [\n    %s\n  ],\n  \"solver_comparison\": %s,\n  \"incremental_edits\": %s,\n  \"serve_latency\": %s,\n  \"multilevel\": %s,\n  \"multilevel_1m\": %s,\n  \"benchmarks\": [\n", idx, phases, solvers, procs, cmp, incr, serve_json, ml, ml1m
     for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n-1 ? "," : "")
     printf "  ]\n}\n"
 }' "$raw" > "$out"
